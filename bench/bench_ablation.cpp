@@ -1,0 +1,241 @@
+// Ablation bench (beyond the paper; DESIGN.md §4): quantifies the design
+// choices SOFDA composes from —
+//   (1) Steiner substrate choice (Mehlhorn / KMB / Takahashi-Matsuyama);
+//   (2) k-stroll solver choice (cheapest-insertion+local-search vs exact DP);
+//   (3) the pass-through shortening post-step;
+//   (4) VNF-conflict traffic (how often Procedure 4 fires and which case);
+//   (5) distributed-control message overhead vs controller count.
+
+#include <iostream>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/conflict.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/util/rng.hpp"
+#include "sofe/dist/dist_sofda.hpp"
+#include "sofe/topology/topology.hpp"
+#include "sofe/util/stopwatch.hpp"
+#include "sofe/util/table.hpp"
+
+namespace {
+
+using sofe::core::AlgoOptions;
+using sofe::core::total_cost;
+
+constexpr int kSeeds = 8;
+
+sofe::core::Problem sample(std::uint64_t seed, int vms = 25) {
+  sofe::topology::ProblemConfig cfg;
+  cfg.num_vms = vms;
+  cfg.seed = seed;
+  static const auto topo = sofe::topology::softlayer();
+  return sofe::topology::make_problem(topo, cfg);
+}
+
+void steiner_choice() {
+  std::cout << "\n--- (1) Steiner substrate inside SOFDA (SoftLayer defaults) ---\n";
+  struct Variant {
+    const char* name;
+    sofe::steiner::Algorithm algo;
+  };
+  const Variant variants[] = {
+      {"Mehlhorn", sofe::steiner::Algorithm::kMehlhorn},
+      {"KMB", sofe::steiner::Algorithm::kKmb},
+      {"Takahashi-Matsuyama", sofe::steiner::Algorithm::kTakahashiMatsuyama},
+  };
+  sofe::util::Table table({"variant", "mean cost", "mean time (ms)"});
+  for (const auto& v : variants) {
+    double cost = 0.0, ms = 0.0;
+    int counted = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto p = sample(700 + static_cast<std::uint64_t>(s));
+      AlgoOptions opt;
+      opt.steiner = v.algo;
+      sofe::util::Stopwatch watch;
+      const auto f = sofe::core::sofda(p, opt);
+      ms += watch.milliseconds();
+      if (f.empty()) continue;
+      cost += total_cost(p, f);
+      ++counted;
+    }
+    table.add_row({v.name, sofe::util::Table::num(cost / counted, 2),
+                   sofe::util::Table::num(ms / kSeeds, 2)});
+  }
+  table.print();
+}
+
+void stroll_choice() {
+  std::cout << "\n--- (2) k-stroll solver inside SOFDA (|M| = 12 so exact DP is cheap) ---\n";
+  sofe::util::Table table({"variant", "mean cost", "mean time (ms)"});
+  for (const auto stroll : {sofe::kstroll::StrollAlgorithm::kCheapestInsertion,
+                            sofe::kstroll::StrollAlgorithm::kExactDp}) {
+    double cost = 0.0, ms = 0.0;
+    int counted = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto p = sample(800 + static_cast<std::uint64_t>(s), /*vms=*/12);
+      AlgoOptions opt;
+      opt.stroll = stroll;
+      sofe::util::Stopwatch watch;
+      const auto f = sofe::core::sofda(p, opt);
+      ms += watch.milliseconds();
+      if (f.empty()) continue;
+      cost += total_cost(p, f);
+      ++counted;
+    }
+    table.add_row({stroll == sofe::kstroll::StrollAlgorithm::kExactDp ? "exact DP"
+                                                                      : "cheapest insertion",
+                   sofe::util::Table::num(cost / counted, 3),
+                   sofe::util::Table::num(ms / kSeeds, 2)});
+  }
+  table.print();
+  std::cout << "(shape check: near-identical cost; insertion much cheaper at scale)\n";
+}
+
+void shorten_choice() {
+  std::cout << "\n--- (3) pass-through shortening post-step ---\n";
+  sofe::util::Table table({"variant", "mean cost"});
+  for (const bool shorten : {true, false}) {
+    double cost = 0.0;
+    int counted = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      const auto p = sample(900 + static_cast<std::uint64_t>(s));
+      AlgoOptions opt;
+      opt.shorten = shorten;
+      const auto f = sofe::core::sofda(p, opt);
+      if (f.empty()) continue;
+      cost += total_cost(p, f);
+      ++counted;
+    }
+    table.add_row({shorten ? "with shortening" : "without", sofe::util::Table::num(cost / counted, 3)});
+  }
+  table.print();
+}
+
+void conflict_traffic() {
+  // Conflicts need chains that traverse shared VMs in *different* orders;
+  // rings with far-apart sources produce exactly that (SoftLayer's dense
+  // mesh lets every chain agree on the same cheap assignment, so organic
+  // conflicts are rare there — which is itself a finding).
+  std::cout << "\n--- (4) VNF-conflict resolution traffic (ring topology, opposing sources) ---\n";
+  sofe::util::Table table({"|M|", "deployed", "case1", "case2", "case3", "requeued",
+                           "dropped", "feasible"});
+  for (int vms : {4, 6, 10}) {
+    sofe::core::SofdaStats agg;
+    int feasible = 0;
+    for (int s = 0; s < kSeeds * 4; ++s) {
+      sofe::topology::ProblemConfig cfg;
+      cfg.num_vms = vms;
+      cfg.num_sources = 6;
+      cfg.num_destinations = 8;
+      cfg.chain_length = 3;
+      cfg.setup_scale = 0.2;  // cheap VMs => many trees => overlap pressure
+      cfg.seed = 1100 + static_cast<std::uint64_t>(s);
+      const auto topo = sofe::topology::ring(24);
+      const auto p = sofe::topology::make_problem(topo, cfg);
+      sofe::core::SofdaStats stats;
+      const auto f = sofe::core::sofda(p, {}, &stats);
+      if (!f.empty() && sofe::core::is_feasible(p, f)) ++feasible;
+      agg.deployed_chains += stats.deployed_chains;
+      agg.conflicts.case1 += stats.conflicts.case1;
+      agg.conflicts.case2 += stats.conflicts.case2;
+      agg.conflicts.case3 += stats.conflicts.case3;
+      agg.conflicts.requeued += stats.conflicts.requeued;
+      agg.conflicts.dropped += stats.conflicts.dropped;
+    }
+    table.add_row({std::to_string(vms), std::to_string(agg.deployed_chains),
+                   std::to_string(agg.conflicts.case1), std::to_string(agg.conflicts.case2),
+                   std::to_string(agg.conflicts.case3), std::to_string(agg.conflicts.requeued),
+                   std::to_string(agg.conflicts.dropped),
+                   std::to_string(feasible) + "/" + std::to_string(kSeeds * 4)});
+  }
+  table.print();
+  std::cout << "(finding: organic conflicts are rare — the auxiliary Steiner tree already\n"
+               " avoids redundant chains; Procedure 4 is exercised adversarially below)\n";
+
+  // Direct adversarial workload on the resolution machinery: random chains
+  // crossing a shared VM pool in shuffled orders.
+  std::cout << "\n--- (4b) Procedure 4 under adversarial crossing chains ---\n";
+  sofe::util::Table t2({"chains", "case1", "case2", "case3", "requeued", "dropped",
+                        "consistent"});
+  for (int n_chains : {4, 8, 16}) {
+    sofe::core::ConflictStats agg;
+    int consistent = 0, total = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      // Complete-ish graph over 12 nodes; VMs everywhere.
+      sofe::core::Problem p;
+      p.network = sofe::core::Graph(12);
+      for (sofe::core::NodeId u = 0; u < 12; ++u) {
+        for (sofe::core::NodeId v = u + 1; v < 12; ++v) p.network.add_edge(u, v, 1.0);
+      }
+      p.node_cost.assign(12, 1.0);
+      p.node_cost[0] = p.node_cost[1] = 0.0;
+      p.is_vm.assign(12, 1);
+      p.is_vm[0] = p.is_vm[1] = 0;
+      p.sources = {0, 1};
+      p.destinations = {};
+      p.chain_length = 3;
+
+      sofe::util::Rng rng(5000 + static_cast<std::uint64_t>(s) * 13 +
+                          static_cast<std::uint64_t>(n_chains));
+      sofe::core::ChainPool pool(p);
+      for (int c = 0; c < n_chains; ++c) {
+        std::vector<sofe::core::NodeId> vms{2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+        rng.shuffle(vms);
+        sofe::core::DeployedChain chain;
+        chain.source = p.sources[static_cast<std::size_t>(c % 2)];
+        chain.nodes = {chain.source, vms[0], vms[1], vms[2]};
+        chain.vnf_pos = {1, 2, 3};
+        chain.last_vm = vms[2];
+        pool.add(c, std::move(chain));
+      }
+      // Consistency: every committed chain agrees with the enabled map.
+      const auto enabled = pool.enabled();
+      bool ok = true;
+      for (const auto& [id, chain] : pool.committed()) {
+        (void)id;
+        for (std::size_t j = 0; j < chain.vnf_pos.size(); ++j) {
+          if (enabled.at(chain.nodes[chain.vnf_pos[j]]) != static_cast<int>(j) + 1) ok = false;
+        }
+      }
+      consistent += ok ? 1 : 0;
+      ++total;
+      agg.case1 += pool.stats().case1;
+      agg.case2 += pool.stats().case2;
+      agg.case3 += pool.stats().case3;
+      agg.requeued += pool.stats().requeued;
+      agg.dropped += pool.stats().dropped;
+    }
+    t2.add_row({std::to_string(n_chains), std::to_string(agg.case1), std::to_string(agg.case2),
+                std::to_string(agg.case3), std::to_string(agg.requeued),
+                std::to_string(agg.dropped),
+                std::to_string(consistent) + "/" + std::to_string(total)});
+  }
+  t2.print();
+}
+
+void distributed_overhead() {
+  std::cout << "\n--- (5) multi-controller message overhead (Section VI) ---\n";
+  sofe::util::Table table({"controllers", "messages", "payload items", "rounds", "cost vs central"});
+  const auto p = sample(1234, 10);
+  const auto central = sofe::core::sofda(p);
+  const double central_cost = total_cost(p, central);
+  for (int k : {1, 2, 3, 4, 6, 8}) {
+    const auto r = sofe::dist::distributed_sofda(p, k);
+    table.add_row({std::to_string(k), std::to_string(r.messages),
+                   std::to_string(r.payload_items), std::to_string(r.rounds),
+                   sofe::util::Table::num(total_cost(p, r.forest) / central_cost, 4) + "x"});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: SOFDA design choices ===\n";
+  steiner_choice();
+  stroll_choice();
+  shorten_choice();
+  conflict_traffic();
+  distributed_overhead();
+  return 0;
+}

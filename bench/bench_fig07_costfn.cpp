@@ -1,0 +1,22 @@
+// Fig. 7: the Fortz-Thorup link/VM cost function with capacity p = 1.
+// Prints the cost at sampled loads plus the piecewise breakpoints so the
+// plotted curve can be reproduced exactly.
+
+#include <iostream>
+
+#include "sofe/costmodel/fortz_thorup.hpp"
+#include "sofe/util/table.hpp"
+
+int main() {
+  std::cout << "=== Fig. 7: convex load cost (Section VII-B), capacity p = 1 ===\n";
+  sofe::util::Table table({"load", "cost", "slope"});
+  for (double l = 0.0; l <= 1.2001; l += 0.05) {
+    table.add_row({sofe::util::Table::num(l, 2),
+                   sofe::util::Table::num(sofe::costmodel::fortz_thorup(l, 1.0), 4),
+                   sofe::util::Table::num(sofe::costmodel::fortz_thorup_slope(l, 1.0), 0)});
+  }
+  table.print();
+  std::cout << "breakpoints: 1/3, 2/3, 9/10, 1, 11/10 (continuous; the paper's\n"
+               "printed 14318/3 intercept is corrected to Fortz-Thorup's 16318/3)\n";
+  return 0;
+}

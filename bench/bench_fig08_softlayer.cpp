@@ -1,0 +1,21 @@
+// Fig. 8: one-time deployment cost on the SoftLayer inter-DC network
+// (27 nodes, 49 links, 17 DCs) vs #sources, #destinations, #VMs and chain
+// length.  Series: SOFDA, eNEMP, eST, ST and the exact optimum ("CPLEX*",
+// our branch-and-bound DST solver — DESIGN.md §3).
+//
+// Expected shape (paper): SOFDA tracks CPLEX* closely and undercuts
+// eNEMP/eST/ST; cost falls with more sources and VMs, rises with more
+// destinations and longer chains.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  std::cout << "=== Fig. 8: one-time deployment cost, SoftLayer ===\n";
+  std::cout << "(defaults: |S|=14, |D|=6, |M|=25, |C|=3; mean over "
+            << sofe::bench::seeds_per_cell() << " seeds; CPLEX* = exact solver)\n";
+  sofe::bench::run_cost_figure(sofe::topology::softlayer(), /*with_exact=*/true,
+                               /*scale=*/1.0);
+  return 0;
+}

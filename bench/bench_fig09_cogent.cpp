@@ -1,0 +1,19 @@
+// Fig. 9: one-time deployment cost on the Cogent backbone (190 nodes,
+// 260 links, 40 DCs).  Same sweeps as Fig. 8, no exact series (the paper
+// only ran CPLEX on SoftLayer).
+//
+// Expected shape: larger network => larger SOFDA margins, because more
+// candidate nodes/links give the forest more room to beat a single tree.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  std::cout << "=== Fig. 9: one-time deployment cost, Cogent ===\n";
+  std::cout << "(defaults: |S|=14, |D|=6, |M|=25, |C|=3; mean over "
+            << sofe::bench::seeds_per_cell() << " seeds)\n";
+  sofe::bench::run_cost_figure(sofe::topology::cogent(), /*with_exact=*/false,
+                               /*scale=*/1.0);
+  return 0;
+}

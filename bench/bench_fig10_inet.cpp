@@ -1,0 +1,25 @@
+// Fig. 10: one-time deployment cost on the Inet-style synthetic network
+// (5000 nodes, 10000 links, 2000 DCs), cost reported in thousands as in the
+// paper.  Override SOFE_INET_NODES to shrink for smoke runs.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  int nodes = 5000;
+  if (const char* env = std::getenv("SOFE_INET_NODES")) {
+    const int v = std::atoi(env);
+    if (v >= 100) nodes = v;
+  }
+  const int links = nodes * 2;
+  const int dcs = nodes * 2 / 5;
+  std::cout << "=== Fig. 10: one-time deployment cost, Inet synthetic (" << nodes
+            << " nodes, " << links << " links, " << dcs << " DCs); cost in units ===\n";
+  std::cout << "(defaults: |S|=14, |D|=6, |M|=25, |C|=3; mean over "
+            << sofe::bench::seeds_per_cell() << " seeds)\n";
+  const auto topo = sofe::topology::inet(nodes, links, dcs, 1);
+  sofe::bench::run_cost_figure(topo, /*with_exact=*/false, /*scale=*/1.0);
+  return 0;
+}

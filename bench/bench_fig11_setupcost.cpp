@@ -1,0 +1,66 @@
+// Fig. 11: impact of the VM setup-cost multiplier (1x..9x) and chain length
+// (|C| = 3..7) on (a) SOFDA's forest cost and (b) the average number of VMs
+// SOFDA enables.
+//
+// Expected shape: cost grows with both knobs; the number of enabled VMs
+// *falls* as setup cost rises (SOFDA consolidates) and grows with |C|
+// (every chain needs |C| distinct VMs, shared across destinations).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using sofe::bench::seeds_per_cell;
+  const int seeds = seeds_per_cell();
+  const auto topo = sofe::topology::softlayer();
+  const std::vector<int> multipliers{1, 3, 5, 7, 9};
+  const std::vector<int> chains{3, 4, 5, 6, 7};
+
+  std::cout << "=== Fig. 11: setup-cost multiplier x chain length (SoftLayer, SOFDA) ===\n";
+  std::cout << "(defaults: |S|=14, |D|=6, |M|=25; mean over " << seeds << " seeds)\n";
+
+  std::vector<std::vector<double>> cost(chains.size(), std::vector<double>(multipliers.size()));
+  std::vector<std::vector<double>> vms(chains.size(), std::vector<double>(multipliers.size()));
+  for (std::size_t ci = 0; ci < chains.size(); ++ci) {
+    for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
+      double cost_sum = 0.0, vm_sum = 0.0;
+      int counted = 0;
+      for (int s = 0; s < seeds; ++s) {
+        sofe::topology::ProblemConfig cfg;
+        cfg.chain_length = chains[ci];
+        cfg.setup_scale = 1.0 * multipliers[mi];  // 1x = the Fig. 8 default scale
+        cfg.seed = 500 + 31 * static_cast<std::uint64_t>(s);
+        const auto p = sofe::topology::make_problem(topo, cfg);
+        const auto f = sofe::core::sofda(p);
+        if (f.empty()) continue;
+        cost_sum += sofe::core::total_cost(p, f);
+        vm_sum += static_cast<double>(f.enabled_vms().size());
+        ++counted;
+      }
+      if (counted > 0) {
+        cost[ci][mi] = cost_sum / counted;
+        vms[ci][mi] = vm_sum / counted;
+      }
+    }
+  }
+
+  auto print = [&](const char* title, const std::vector<std::vector<double>>& data,
+                   int precision) {
+    std::cout << "\n" << title << "\n";
+    std::vector<std::string> header{"setup"};
+    for (int c : chains) header.push_back("|C|=" + std::to_string(c));
+    sofe::util::Table table(header);
+    for (std::size_t mi = 0; mi < multipliers.size(); ++mi) {
+      std::vector<std::string> row{std::to_string(multipliers[mi]) + "x"};
+      for (std::size_t ci = 0; ci < chains.size(); ++ci) {
+        row.push_back(sofe::util::Table::num(data[ci][mi], precision));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+  };
+  print("(a) forest cost", cost, 1);
+  print("(b) average number of used VMs", vms, 2);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 12: online deployment — accumulative cost vs number of arrived
+// demands, (a) SoftLayer (30 arrivals, |D|~U[13,17], |S|~U[8,12]) and
+// (b) Cogent (45 arrivals, |D|~U[20,60], |S|~U[10,30]); |C| = 3.
+//
+// Expected shape: all curves grow super-linearly as the network loads up;
+// SOFDA's stays lowest because it prices congestion into every embedding.
+
+#include <iostream>
+
+#include "sofe/baselines/baselines.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/online/simulator.hpp"
+#include "sofe/util/table.hpp"
+
+namespace {
+
+using sofe::core::Problem;
+using sofe::core::ServiceForest;
+
+void run_panel(const char* title, const sofe::topology::Topology& topo,
+               const sofe::online::OnlineConfig& cfg, int print_every) {
+  std::cout << "\n" << title << "\n";
+  struct Algo {
+    const char* name;
+    sofe::online::EmbedFn fn;
+  };
+  const Algo algos[] = {
+      {"SOFDA", [](const Problem& p) { return sofe::core::sofda(p); }},
+      {"eNEMP",
+       [](const Problem& p) { return sofe::baselines::run(p, sofe::baselines::Kind::kEnemp); }},
+      {"eST",
+       [](const Problem& p) { return sofe::baselines::run(p, sofe::baselines::Kind::kEst); }},
+      {"ST",
+       [](const Problem& p) { return sofe::baselines::run(p, sofe::baselines::Kind::kSt); }},
+  };
+  std::vector<sofe::online::OnlineResult> results;
+  for (const auto& a : algos) results.push_back(simulate(topo, cfg, a.name, a.fn));
+
+  std::vector<std::string> header{"#demands"};
+  for (const auto& a : algos) header.push_back(a.name);
+  sofe::util::Table table(header);
+  for (int i = print_every - 1; i < cfg.requests; i += print_every) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (const auto& r : results) {
+      row.push_back(sofe::util::Table::num(r.accumulative_cost[static_cast<std::size_t>(i)], 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  for (const auto& r : results) {
+    std::cout << r.algorithm << ": overloaded links at end = " << r.overloaded_links
+              << ", infeasible = " << r.infeasible_requests << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 12: online deployment, accumulative cost ===\n";
+  {
+    sofe::online::OnlineConfig cfg;
+    cfg.requests = 30;
+    cfg.min_destinations = 13;
+    cfg.max_destinations = 17;
+    cfg.min_sources = 8;
+    cfg.max_sources = 12;
+    cfg.seed = 12;
+    run_panel("(a) SoftLayer, 30 arrivals", sofe::topology::softlayer(), cfg, 5);
+  }
+  {
+    sofe::online::OnlineConfig cfg;
+    cfg.requests = 45;
+    cfg.min_destinations = 20;
+    cfg.max_destinations = 60;
+    cfg.min_sources = 10;
+    cfg.max_sources = 30;
+    cfg.seed = 13;
+    run_panel("(b) Cogent, 45 arrivals", sofe::topology::cogent(), cfg, 5);
+  }
+  return 0;
+}

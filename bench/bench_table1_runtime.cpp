@@ -1,0 +1,77 @@
+// Table I: SOFDA running time (seconds) vs network size |V| in
+// {1000..5000} and source count |S| in {2, 8, 14, 20, 26}, on Inet-style
+// synthetic networks (links = 2|V|, DCs = 0.4|V|, |M| = 25, |D| = 6,
+// |C| = 3).
+//
+// Expected shape: grows with both |V| and |S| (|S|·|M| k-stroll pricings
+// dominate per the complexity analysis of Section V); absolute numbers are
+// hardware-dependent.  Uses google-benchmark manual timing underneath and
+// prints the paper-style matrix at the end.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/topology/topology.hpp"
+#include "sofe/util/stopwatch.hpp"
+#include "sofe/util/table.hpp"
+
+namespace {
+
+const std::vector<int> kNodes{1000, 2000, 3000, 4000, 5000};
+const std::vector<int> kSources{2, 8, 14, 20, 26};
+std::map<std::pair<int, int>, double> g_seconds;
+
+void sofda_runtime(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int sources = static_cast<int>(state.range(1));
+  const auto topo = sofe::topology::inet(nodes, nodes * 2, nodes * 2 / 5, 7);
+  sofe::topology::ProblemConfig cfg;
+  cfg.num_sources = sources;
+  cfg.num_destinations = 6;
+  cfg.num_vms = 25;
+  cfg.chain_length = 3;
+  cfg.seed = 99;
+  const auto p = sofe::topology::make_problem(topo, cfg);
+  double last = 0.0;
+  for (auto _ : state) {
+    sofe::util::Stopwatch watch;
+    auto f = sofe::core::sofda(p);
+    last = watch.seconds();
+    benchmark::DoNotOptimize(f);
+    state.SetIterationTime(last);
+  }
+  g_seconds[{nodes, sources}] = last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int n : kNodes) {
+    for (int s : kSources) {
+      benchmark::RegisterBenchmark(
+          ("SOFDA/V:" + std::to_string(n) + "/S:" + std::to_string(s)).c_str(), sofda_runtime)
+          ->Args({n, s})
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::cout << "\n=== Table I: SOFDA running time (seconds) ===\n";
+  std::vector<std::string> header{"|V|"};
+  for (int s : kSources) header.push_back("|S|=" + std::to_string(s));
+  sofe::util::Table table(header);
+  for (int n : kNodes) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (int s : kSources) row.push_back(sofe::util::Table::num(g_seconds[{n, s}], 3));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::cout << "(shape check: time grows with |V| and with |S|)\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+#pragma once
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §4).  Each harness prints the same rows/series
+// the paper reports; absolute magnitudes are ours (our substrate is a
+// simulator), the *shape* is the reproduction target.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sofe/baselines/baselines.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/exact/solver.hpp"
+#include "sofe/topology/topology.hpp"
+#include "sofe/util/stopwatch.hpp"
+#include "sofe/util/table.hpp"
+
+namespace sofe::bench {
+
+/// Number of random seeds averaged per experiment cell; override with
+/// SOFE_BENCH_SEEDS for longer, smoother runs.
+inline int seeds_per_cell(int default_seeds = 3) {
+  if (const char* env = std::getenv("SOFE_BENCH_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return default_seeds;
+}
+
+inline const std::vector<std::string>& algorithm_names(bool with_exact) {
+  static const std::vector<std::string> kWith{"SOFDA", "eNEMP", "eST", "ST", "CPLEX*"};
+  static const std::vector<std::string> kWithout{"SOFDA", "eNEMP", "eST", "ST"};
+  return with_exact ? kWith : kWithout;
+}
+
+/// Mean total cost per algorithm over `seeds` sampled instances.
+/// "CPLEX*" is our exact solver (DESIGN.md §3); its average covers the seeds
+/// it proved optimal within budget and is omitted when it closed none
+/// (larger |C| cells — documented in EXPERIMENTS.md).
+inline std::map<std::string, double> mean_costs(const topology::Topology& topo,
+                                                topology::ProblemConfig cfg, int seeds,
+                                                bool with_exact) {
+  std::map<std::string, double> sum;
+  int counted = 0, exact_counted = 0;
+  double exact_sum = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    cfg.seed = 1000 + 77 * static_cast<std::uint64_t>(s) + cfg.seed % 77;
+    const auto p = topology::make_problem(topo, cfg);
+    const auto f_sofda = core::sofda(p);
+    const auto f_enemp = baselines::run(p, baselines::Kind::kEnemp);
+    const auto f_est = baselines::run(p, baselines::Kind::kEst);
+    const auto f_st = baselines::run(p, baselines::Kind::kSt);
+    if (f_sofda.empty() || f_enemp.empty() || f_est.empty() || f_st.empty()) continue;
+    if (with_exact) {
+      exact::ExactLimits limits;
+      limits.max_bnb_nodes = 10000;
+      limits.max_seconds = 25.0;  // fail fast on unclosable cells; EXPERIMENTS.md
+      const auto ex = exact::solve_exact(p, limits);
+      if (ex.optimal) {
+        exact_sum += ex.cost;
+        ++exact_counted;
+      }
+    }
+    sum["SOFDA"] += core::total_cost(p, f_sofda);
+    sum["eNEMP"] += core::total_cost(p, f_enemp);
+    sum["eST"] += core::total_cost(p, f_est);
+    sum["ST"] += core::total_cost(p, f_st);
+    ++counted;
+  }
+  if (counted > 0) {
+    for (auto& [k, v] : sum) v /= counted;
+  }
+  // Only report the exact average when it covers the same seed set as the
+  // heuristics — a partial average is not comparable.
+  if (exact_counted == counted && exact_counted > 0) sum["CPLEX*"] = exact_sum / exact_counted;
+  return sum;
+}
+
+/// Prints one sweep as a paper-style series table.
+inline void print_sweep(const std::string& title, const std::string& x_name,
+                        const std::vector<int>& xs,
+                        const std::vector<std::map<std::string, double>>& rows,
+                        bool with_exact, double scale = 1.0) {
+  std::cout << "\n" << title << "\n";
+  std::vector<std::string> header{x_name};
+  for (const auto& a : algorithm_names(with_exact)) header.push_back(a);
+  util::Table table(header);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::vector<std::string> cells{std::to_string(xs[i])};
+    for (const auto& a : algorithm_names(with_exact)) {
+      const auto it = rows[i].find(a);
+      cells.push_back(it == rows[i].end() ? "-" : util::Table::num(it->second / scale, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print();
+}
+
+/// The paper's four sweeps (Figs. 8, 9, 10): #sources, #destinations,
+/// #available VMs, service-chain length.
+inline void run_cost_figure(const topology::Topology& topo, bool with_exact, double scale,
+                            int max_dest_for_exact = 10) {
+  const int seeds = seeds_per_cell();
+  topology::ProblemConfig base;  // paper defaults: 14 sources, 6 dests, 25 VMs, |C|=3
+
+  {
+    const std::vector<int> xs{2, 8, 14, 20, 26};
+    std::vector<std::map<std::string, double>> rows;
+    for (int x : xs) {
+      auto cfg = base;
+      cfg.num_sources = x;
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact));
+    }
+    print_sweep("(a) cost vs number of sources", "|S|", xs, rows, with_exact, scale);
+  }
+  {
+    const std::vector<int> xs{2, 4, 6, 8, 10};
+    std::vector<std::map<std::string, double>> rows;
+    for (int x : xs) {
+      auto cfg = base;
+      cfg.num_destinations = x;
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact && x <= max_dest_for_exact));
+    }
+    print_sweep("(b) cost vs number of destinations", "|D|", xs, rows, with_exact, scale);
+  }
+  {
+    const std::vector<int> xs{5, 15, 25, 35, 45};
+    std::vector<std::map<std::string, double>> rows;
+    for (int x : xs) {
+      auto cfg = base;
+      cfg.num_vms = x;
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact));
+    }
+    print_sweep("(c) cost vs number of available VMs", "|M|", xs, rows, with_exact, scale);
+  }
+  {
+    const std::vector<int> xs{3, 4, 5, 6, 7};
+    std::vector<std::map<std::string, double>> rows;
+    for (int x : xs) {
+      auto cfg = base;
+      cfg.chain_length = x;
+      // The exact branch-and-bound stops proving optimality within budget
+      // beyond |C| = 4 (relaxation gap grows with chain length); those
+      // cells print "-" (EXPERIMENTS.md).
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact && x <= 4));
+    }
+    print_sweep("(d) cost vs service chain length", "|C|", xs, rows, with_exact, scale);
+  }
+}
+
+}  // namespace sofe::bench

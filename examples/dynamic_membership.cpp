@@ -1,0 +1,82 @@
+// Dynamic group membership and chain updates (Section VII-C): start from a
+// SOFDA embedding, then play an IPTV-style day: viewers join and leave, the
+// operator inserts an ad-insertion VNF mid-stream, a link congests and the
+// forest reroutes around it.
+
+#include <algorithm>
+#include <iostream>
+
+#include "sofe/core/dynamic.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/topology/topology.hpp"
+
+using namespace sofe;
+
+namespace {
+
+void report(const char* what, const core::DynamicForest& live) {
+  const auto r = core::validate(live.problem(), live.forest());
+  std::cout << what << ": cost " << live.cost() << ", walks "
+            << live.forest().walks.size() << ", VMs "
+            << live.forest().enabled_vms().size() << ", chain |C|="
+            << live.problem().chain_length << ", feasible "
+            << (r.ok ? "yes" : r.summary()) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 15;
+  cfg.num_sources = 4;
+  cfg.num_destinations = 5;
+  cfg.chain_length = 2;
+  cfg.seed = 99;
+  auto p = topology::make_problem(topology::softlayer(), cfg);
+  auto f = core::sofda(p);
+  core::DynamicForest live(std::move(p), std::move(f));
+  report("initial SOFDA embedding", live);
+
+  // Two viewers join from new edge nodes.
+  int joined = 0;
+  for (core::NodeId v = 0; v < 27 && joined < 2; ++v) {
+    const auto& d = live.problem().destinations;
+    const auto& s = live.problem().sources;
+    if (std::find(d.begin(), d.end(), v) == d.end() &&
+        std::find(s.begin(), s.end(), v) == s.end()) {
+      if (live.destination_join(v)) {
+        ++joined;
+        std::cout << "  + viewer at node " << v << " joins\n";
+      }
+    }
+  }
+  report("after 2 joins", live);
+
+  // One viewer leaves.
+  const auto leaver = live.problem().destinations.front();
+  live.destination_leave(leaver);
+  std::cout << "  - viewer at node " << leaver << " leaves\n";
+  report("after leave", live);
+
+  // The operator inserts an ad-insertion VNF as the new f2.
+  if (live.vnf_insert(2)) std::cout << "  * ad-insertion VNF spliced in as f2\n";
+  report("after VNF insert", live);
+
+  // A backbone link congests: reprice it and reroute.
+  for (const auto& se : live.forest().stage_edges()) {
+    const auto e = live.problem().network.find_edge(se.u, se.v);
+    if (live.problem().network.edge(e).cost > 0.0) {
+      const int n = live.reroute_link(e, live.problem().network.edge(e).cost * 40.0);
+      std::cout << "  ! link " << se.u << "-" << se.v << " congested; " << n
+                << " segment(s) rerouted\n";
+      break;
+    }
+  }
+  report("after congestion reroute", live);
+
+  // Finally the transcoder VNF is retired.
+  if (live.vnf_delete(1)) std::cout << "  * f1 retired from the chain\n";
+  report("final state", live);
+  return 0;
+}

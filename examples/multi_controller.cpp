@@ -1,0 +1,46 @@
+// Multi-controller embedding (Section VI): the same request embedded by 1,
+// 2, 4 and 6 cooperating SDN controllers.  Shows the message/round protocol
+// overhead and that the distributed pipeline lands on the same Steiner
+// certificate as the centralized one.
+
+#include <iostream>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/dist/dist_sofda.hpp"
+#include "sofe/topology/topology.hpp"
+#include "sofe/util/table.hpp"
+
+using namespace sofe;
+
+int main() {
+  const auto topo = topology::cogent();
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 20;
+  cfg.num_sources = 5;
+  cfg.num_destinations = 8;
+  cfg.chain_length = 2;
+  cfg.seed = 6;
+  const auto p = topology::make_problem(topo, cfg);
+
+  core::SofdaStats central_stats;
+  const auto central = core::sofda(p, {}, &central_stats);
+  std::cout << "Cogent request, centralized SOFDA cost: " << core::total_cost(p, central)
+            << " (certificate " << central_stats.steiner_tree_cost << ")\n\n";
+
+  util::Table table({"controllers", "forest cost", "certificate", "messages",
+                     "payload items", "rounds", "feasible"});
+  for (int k : {1, 2, 4, 6}) {
+    const auto r = dist::distributed_sofda(p, k);
+    const auto report = core::validate(p, r.forest);
+    table.add_row({std::to_string(k), util::Table::num(core::total_cost(p, r.forest), 2),
+                   util::Table::num(r.stats.steiner_tree_cost, 2),
+                   std::to_string(r.messages), std::to_string(r.payload_items),
+                   std::to_string(r.rounds), report.ok ? "yes" : "NO"});
+  }
+  table.print();
+  std::cout << "\nThe certificate (the Steiner tree cost in the auxiliary graph) is\n"
+               "identical for every controller count: the controllers exchange\n"
+               "border-distance matrices, so chain pricing is exact everywhere.\n";
+  return 0;
+}

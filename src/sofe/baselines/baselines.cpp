@@ -1,0 +1,329 @@
+#include "sofe/baselines/baselines.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/metric_closure.hpp"
+#include "sofe/steiner/steiner.hpp"
+
+namespace sofe::baselines {
+
+using core::ChainPlan;
+using core::ChainWalk;
+using core::Cost;
+using core::total_cost;
+using graph::EdgeId;
+using graph::NodeId;
+
+namespace {
+
+/// Rooted tree-path helper over an edge subset (same pattern as SOFDA-SS).
+class TreePaths {
+ public:
+  TreePaths(const graph::Graph& g, const std::vector<EdgeId>& edges, NodeId root)
+      : root_(root) {
+    parent_.assign(static_cast<std::size_t>(g.node_count()), graph::kInvalidNode);
+    visited_.assign(static_cast<std::size_t>(g.node_count()), false);
+    std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(g.node_count()));
+    for (EdgeId e : edges) {
+      adj[static_cast<std::size_t>(g.edge(e).u)].push_back(g.edge(e).v);
+      adj[static_cast<std::size_t>(g.edge(e).v)].push_back(g.edge(e).u);
+    }
+    std::vector<NodeId> stack{root};
+    visited_[static_cast<std::size_t>(root)] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      nodes_.push_back(v);
+      for (NodeId w : adj[static_cast<std::size_t>(v)]) {
+        if (!visited_[static_cast<std::size_t>(w)]) {
+          visited_[static_cast<std::size_t>(w)] = true;
+          parent_[static_cast<std::size_t>(w)] = v;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  bool reaches(NodeId v) const { return visited_[static_cast<std::size_t>(v)]; }
+  const std::vector<NodeId>& nodes() const noexcept { return nodes_; }
+
+  std::vector<NodeId> path_from_root(NodeId v) const {
+    std::vector<NodeId> rev;
+    for (NodeId x = v; x != graph::kInvalidNode; x = parent_[static_cast<std::size_t>(x)]) {
+      rev.push_back(x);
+    }
+    assert(rev.back() == root_);
+    return {rev.rbegin(), rev.rend()};
+  }
+
+ private:
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<bool> visited_;
+  std::vector<NodeId> nodes_;
+};
+
+/// Builds the forest "chain (source→u) + connector (u→attach) + tree paths
+/// (attach→d)".  Returns an empty forest when the tree misses a node.
+ServiceForest build_grafted_forest(const Problem& p, const ChainPlan& chain,
+                                   const std::vector<NodeId>& connector,  // u ... attach
+                                   const TreePaths& tree) {
+  ServiceForest f;
+  const NodeId attach = connector.back();
+  for (NodeId d : p.destinations) {
+    if (!tree.reaches(d) || !tree.reaches(attach)) return {};
+    ChainWalk w;
+    w.source = chain.source;
+    w.destination = d;
+    w.nodes = chain.nodes;
+    w.vnf_pos = chain.vnf_pos;
+    w.nodes.insert(w.nodes.end(), connector.begin() + 1, connector.end());
+    // attach -> d inside the tree, via the two root paths' split point.
+    const auto pa = tree.path_from_root(attach);
+    const auto pd = tree.path_from_root(d);
+    std::size_t lca = 0;
+    while (lca + 1 < pa.size() && lca + 1 < pd.size() && pa[lca + 1] == pd[lca + 1]) ++lca;
+    for (std::size_t i = pa.size() - 1; i > lca; --i) w.nodes.push_back(pa[i - 1]);
+    for (std::size_t i = lca + 1; i < pd.size(); ++i) w.nodes.push_back(pd[i]);
+    f.walks.push_back(std::move(w));
+  }
+  return f;
+}
+
+}  // namespace
+
+ServiceForest single_tree_est(const Problem& p, NodeId source,
+                              const std::vector<NodeId>& usable_vms, const AlgoOptions& opt) {
+  ServiceForest best;
+  if (p.destinations.empty() || usable_vms.empty()) return best;
+
+  // The multicast tree spans the source and all destinations (the classic
+  // Steiner-tree solution, oblivious to NFV).
+  std::vector<NodeId> terminals = p.destinations;
+  terminals.push_back(source);
+  const auto tree = steiner::solve(p.network, terminals, opt.steiner);
+  const TreePaths paths(p.network, tree.edges, source);
+
+  std::vector<NodeId> hubs = usable_vms;
+  hubs.push_back(source);
+  const graph::MetricClosure closure(p.network, hubs);
+
+  // The paper's eST: the tree is fixed first (NFV-oblivious); the grafted
+  // chain is the one minimizing  chain cost + connector cost to the tree  —
+  // it does NOT re-evaluate the full forest for every candidate, which is
+  // exactly why eST misses VM/tree co-placement opportunities (§VIII-B).
+  Cost best_score = graph::kInfiniteCost;
+  ChainPlan best_chain;
+  std::vector<NodeId> best_connector;
+  for (NodeId u : usable_vms) {
+    if (u == source) continue;
+    const ChainPlan chain = core::plan_chain_walk(p, closure, source, usable_vms, u, opt);
+    if (!chain.feasible()) continue;
+    const auto& sp = closure.tree(u);
+    NodeId attach = graph::kInvalidNode;
+    Cost attach_cost = graph::kInfiniteCost;
+    for (NodeId t : paths.nodes()) {
+      if (sp.reachable(t) && sp.distance(t) < attach_cost) {
+        attach_cost = sp.distance(t);
+        attach = t;
+      }
+    }
+    if (attach == graph::kInvalidNode) continue;
+    const Cost score = chain.cost + attach_cost;
+    if (score < best_score) {
+      best_score = score;
+      best_chain = chain;
+      best_connector = sp.path_to(attach);
+    }
+  }
+  if (best_score == graph::kInfiniteCost) return best;
+  return build_grafted_forest(p, best_chain, best_connector, paths);
+}
+
+ServiceForest single_tree_enemp(const Problem& p, NodeId source,
+                                const std::vector<NodeId>& usable_vms, const AlgoOptions& opt) {
+  ServiceForest best;
+  if (p.destinations.empty() || usable_vms.empty()) return best;
+
+  std::vector<NodeId> terminals = p.destinations;
+  terminals.push_back(source);
+  const auto tree = steiner::solve(p.network, terminals, opt.steiner);
+  const TreePaths paths(p.network, tree.edges, source);
+
+  std::vector<NodeId> hubs = usable_vms;
+  hubs.push_back(source);
+  const graph::MetricClosure closure(p.network, hubs);
+
+  // NEMP's chain must end on a VM *spanned by the tree* (the paper's
+  // extension: "the chain spans the VM that has been chosen in the tree").
+  // A VM at zero distance from a tree node — e.g. tap-attached to a DC the
+  // tree crosses — counts as spanned.
+  std::vector<NodeId> on_tree;
+  for (NodeId v : usable_vms) {
+    if (v == source) continue;
+    if (paths.reaches(v)) {
+      on_tree.push_back(v);
+      continue;
+    }
+    const auto& sp = closure.tree(v);
+    for (NodeId t : paths.nodes()) {
+      if (sp.reachable(t) && sp.distance(t) == 0.0) {
+        on_tree.push_back(v);
+        break;
+      }
+    }
+  }
+  // When the tree holds no usable VM, fall back to the VM nearest the tree.
+  if (on_tree.empty()) {
+    NodeId nearest = graph::kInvalidNode;
+    Cost nearest_cost = graph::kInfiniteCost;
+    for (NodeId v : usable_vms) {
+      if (v == source) continue;
+      const auto& sp = closure.tree(v);
+      for (NodeId t : paths.nodes()) {
+        if (sp.reachable(t) && sp.distance(t) < nearest_cost) {
+          nearest_cost = sp.distance(t);
+          nearest = v;
+        }
+      }
+    }
+    if (nearest == graph::kInvalidNode) return best;
+    on_tree.push_back(nearest);
+  }
+
+  // eNEMP grafts the cheapest chain ending at a tree-spanned VM (attach
+  // cost is zero when the last VM already sits on the tree).
+  Cost best_score = graph::kInfiniteCost;
+  ChainPlan best_chain;
+  std::vector<NodeId> best_connector;
+  for (NodeId u : on_tree) {
+    const ChainPlan chain = core::plan_chain_walk(p, closure, source, usable_vms, u, opt);
+    if (!chain.feasible()) continue;
+    const auto& sp = closure.tree(u);
+    NodeId attach = graph::kInvalidNode;
+    Cost attach_cost = graph::kInfiniteCost;
+    for (NodeId t : paths.nodes()) {
+      if (sp.reachable(t) && sp.distance(t) < attach_cost) {
+        attach_cost = sp.distance(t);
+        attach = t;
+      }
+    }
+    if (attach == graph::kInvalidNode) continue;
+    const Cost score = chain.cost + attach_cost;
+    if (score < best_score) {
+      best_score = score;
+      best_chain = chain;
+      best_connector = sp.path_to(attach);
+    }
+  }
+  if (best_score == graph::kInfiniteCost) return best;
+  return build_grafted_forest(p, best_chain, best_connector, paths);
+}
+
+namespace {
+
+using SingleTreeFn = ServiceForest (*)(const Problem&, NodeId, const std::vector<NodeId>&,
+                                       const AlgoOptions&);
+
+/// The paper's source election: "the minimum-cost tree among all Steiner
+/// trees rooted at different sources" — chosen by tree cost alone
+/// (NFV-oblivious), then the chain is grafted by `fn`.
+ServiceForest best_single(const Problem& p, SingleTreeFn fn, const AlgoOptions& opt,
+                          NodeId* chosen_source) {
+  NodeId best_s = graph::kInvalidNode;
+  Cost best_tree = graph::kInfiniteCost;
+  for (NodeId s : p.sources) {
+    std::vector<NodeId> terminals = p.destinations;
+    terminals.push_back(s);
+    const Cost c = steiner::solve(p.network, terminals, opt.steiner).cost(p.network);
+    if (c < best_tree) {
+      best_tree = c;
+      best_s = s;
+    }
+  }
+  if (best_s == graph::kInvalidNode) return {};
+  if (chosen_source != nullptr) *chosen_source = best_s;
+  return fn(p, best_s, p.vms(), opt);
+}
+
+/// The paper's multi-source extension: iteratively add a service tree rooted
+/// at an unused source (on unused VMs) while the combined forest — with each
+/// destination served by its cheapest tree — improves.
+ServiceForest multi_source(const Problem& p, SingleTreeFn fn, const AlgoOptions& opt) {
+  NodeId used_source = graph::kInvalidNode;
+  ServiceForest forest = best_single(p, fn, opt, &used_source);
+  if (forest.empty()) return forest;
+
+  std::set<NodeId> used_sources{used_source};
+  auto used_vms = [&] {
+    std::set<NodeId> used;
+    for (const auto& [vm, idx] : forest.enabled_vms()) {
+      (void)idx;
+      used.insert(vm);
+    }
+    return used;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    Cost current = total_cost(p, forest);
+    const auto used = used_vms();
+    std::vector<NodeId> free_vms;
+    for (NodeId v : p.vms()) {
+      if (!used.contains(v)) free_vms.push_back(v);
+    }
+    if (free_vms.empty()) break;
+
+    for (NodeId s : p.sources) {
+      if (used_sources.contains(s)) continue;
+      ServiceForest candidate = fn(p, s, free_vms, opt);
+      if (candidate.empty()) continue;
+      // Merge: each destination keeps the cheaper of its two walks, judged
+      // by the combined forest cost (shared structure priced once).
+      ServiceForest merged = forest;
+      bool any = false;
+      for (std::size_t i = 0; i < merged.walks.size(); ++i) {
+        const auto it = std::find_if(
+            candidate.walks.begin(), candidate.walks.end(),
+            [&](const ChainWalk& w) { return w.destination == merged.walks[i].destination; });
+        if (it == candidate.walks.end()) continue;
+        ServiceForest trial = merged;
+        trial.walks[i] = *it;
+        if (total_cost(p, trial) < total_cost(p, merged)) {
+          merged = std::move(trial);
+          any = true;
+        }
+      }
+      if (!any) continue;
+      const Cost c = total_cost(p, merged);
+      if (c < current) {
+        forest = std::move(merged);
+        current = c;
+        used_sources.insert(s);
+        improved = true;
+        break;  // re-derive used VMs before trying further sources
+      }
+    }
+  }
+  return forest;
+}
+
+}  // namespace
+
+ServiceForest run(const Problem& p, Kind kind, const AlgoOptions& opt) {
+  switch (kind) {
+    case Kind::kSt:
+      return best_single(p, &single_tree_est, opt, nullptr);
+    case Kind::kEst:
+      return multi_source(p, &single_tree_est, opt);
+    case Kind::kEnemp:
+      return multi_source(p, &single_tree_enemp, opt);
+  }
+  return {};
+}
+
+}  // namespace sofe::baselines

@@ -1,0 +1,45 @@
+#pragma once
+// Comparison algorithms from Section VIII-A.
+//
+//  * ST      — one Steiner tree over {s*} ∪ D for the best single source,
+//              with the cheapest service chain grafted onto it ("a special
+//              case with only one Steiner tree connected with a service
+//              chain").
+//  * eST     — the Steiner-tree baseline extended as the paper describes:
+//              best single tree, then iterative addition of service trees
+//              rooted at unused sources (VNFs on unused VMs) while the total
+//              forest cost decreases; each destination is served by its
+//              cheapest tree.
+//  * eNEMP   — the NFV-enabled-multicast baseline [27] extended the same
+//              way; its chain must end on a VM already spanned by the tree.
+//
+// All baselines emit feasible ServiceForests (same validator as SOFDA), so
+// every comparison is like for like.
+
+#include "sofe/core/chain_walk.hpp"
+#include "sofe/core/forest.hpp"
+
+namespace sofe::baselines {
+
+using core::AlgoOptions;
+using core::Problem;
+using core::ServiceForest;
+
+enum class Kind {
+  kSt,     // best single source, free last VM
+  kEst,    // ST + multi-source iterative extension
+  kEnemp,  // tree-constrained last VM + multi-source iterative extension
+};
+
+/// Runs the selected baseline.  Returns an empty forest when infeasible.
+ServiceForest run(const Problem& p, Kind kind, const AlgoOptions& opt = {});
+
+/// Single-tree building blocks (exposed for tests).
+ServiceForest single_tree_est(const Problem& p, graph::NodeId source,
+                              const std::vector<graph::NodeId>& usable_vms,
+                              const AlgoOptions& opt);
+ServiceForest single_tree_enemp(const Problem& p, graph::NodeId source,
+                                const std::vector<graph::NodeId>& usable_vms,
+                                const AlgoOptions& opt);
+
+}  // namespace sofe::baselines

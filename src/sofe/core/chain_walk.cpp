@@ -1,0 +1,62 @@
+#include "sofe/core/chain_walk.hpp"
+
+#include <algorithm>
+
+#include "sofe/kstroll/instance.hpp"
+
+namespace sofe::core {
+
+ChainPlan plan_chain_walk(const Problem& p, const graph::MetricClosure& closure, NodeId source,
+                          const std::vector<NodeId>& vms, NodeId last_vm,
+                          const AlgoOptions& opt) {
+  ChainPlan plan;
+  plan.source = source;
+  plan.last_vm = last_vm;
+  if (source == last_vm) return plan;  // infeasible by construction
+
+  const int k = p.chain_length + 1;
+  if (p.chain_length == 0) {
+    // Degenerate chain: the "walk" is the source itself; callers append the
+    // distribution part.  last_vm is meaningless here.
+    plan.nodes = {source};
+    plan.cost = 0.0;
+    return plan;
+  }
+  if (!closure.tree(source).reachable(last_vm)) return plan;
+
+  const auto inst = kstroll::build_stroll_instance(p.network, closure, source, vms, last_vm,
+                                                   p.node_cost, p.source_cost(source));
+  const auto stroll = kstroll::solve_stroll(inst, k, opt.stroll);
+  if (!stroll.feasible()) return plan;
+
+  // Lift: concatenate shortest paths between consecutive stroll nodes.
+  plan.nodes = {source};
+  for (std::size_t i = 0; i + 1 < stroll.order.size(); ++i) {
+    const NodeId a = inst.nodes[stroll.order[i]];
+    const NodeId b = inst.nodes[stroll.order[i + 1]];
+    const auto path = closure.path(a, b);
+    assert(path.front() == a && path.back() == b);
+    plan.nodes.insert(plan.nodes.end(), path.begin() + 1, path.end());
+    plan.vnf_pos.push_back(plan.nodes.size() - 1);  // b hosts f_{i+1}
+  }
+  assert(plan.nodes.back() == last_vm);
+  assert(plan.vnf_pos.size() == static_cast<std::size_t>(p.chain_length));
+  plan.cost = chain_plan_cost(p, plan);
+  return plan;
+}
+
+Cost chain_plan_cost(const Problem& p, const ChainPlan& plan) {
+  if (plan.nodes.empty()) return graph::kInfiniteCost;
+  Cost sum = p.has_source_costs() ? p.source_cost(plan.source) : 0.0;
+  for (std::size_t pos : plan.vnf_pos) {
+    sum += p.node_cost[static_cast<std::size_t>(plan.nodes[pos])];
+  }
+  for (std::size_t i = 0; i + 1 < plan.nodes.size(); ++i) {
+    const EdgeId e = p.network.find_edge(plan.nodes[i], plan.nodes[i + 1]);
+    assert(e != graph::kInvalidEdge);
+    sum += p.network.edge(e).cost;
+  }
+  return sum;
+}
+
+}  // namespace sofe::core

@@ -1,0 +1,240 @@
+#include "sofe/core/conflict.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace sofe::core {
+
+std::optional<DeployedChain> splice_chains(const DeployedChain& prefix, std::size_t prefix_end,
+                                           int k, const std::vector<NodeId>& tail_nodes,
+                                           const std::vector<std::size_t>& tail_slot_pos,
+                                           int chain_length) {
+  assert(prefix_end < prefix.nodes.size());
+  DeployedChain out;
+  out.source = prefix.source;
+  out.nodes.assign(prefix.nodes.begin(),
+                   prefix.nodes.begin() + static_cast<std::ptrdiff_t>(prefix_end) + 1);
+
+  // Prefix slots: every prefix VNF position <= prefix_end, which must carry
+  // exactly f1..fk by the increasing-position invariant.
+  std::set<NodeId> prefix_vms;
+  for (std::size_t pos : prefix.vnf_pos) {
+    if (pos <= prefix_end) {
+      out.vnf_pos.push_back(pos);
+      prefix_vms.insert(prefix.nodes[pos]);
+    }
+  }
+  assert(static_cast<int>(out.vnf_pos.size()) == k &&
+         "prefix must carry exactly f1..fk before the junction");
+
+  const std::size_t offset = prefix_end + 1;
+  out.nodes.insert(out.nodes.end(), tail_nodes.begin(), tail_nodes.end());
+
+  // Assign f_{k+1}..f_{|C|} to the last eligible tail slots, in order.
+  const int needed = chain_length - k;
+  assert(needed >= 0);
+  std::vector<std::size_t> eligible;
+  for (std::size_t rel : tail_slot_pos) {
+    assert(rel < tail_nodes.size());
+    if (!prefix_vms.contains(tail_nodes[rel])) eligible.push_back(rel);
+  }
+  if (static_cast<int>(eligible.size()) < needed) return std::nullopt;
+  for (std::size_t idx = eligible.size() - static_cast<std::size_t>(needed);
+       idx < eligible.size(); ++idx) {
+    out.vnf_pos.push_back(offset + eligible[idx]);
+  }
+  out.last_vm = out.nodes.back();
+  return out;
+}
+
+std::map<NodeId, int> ChainPool::enabled() const {
+  std::map<NodeId, int> out;
+  for (const auto& [owner, chain] : chains_) {
+    (void)owner;
+    for (std::size_t j = 0; j < chain.vnf_pos.size(); ++j) {
+      out.emplace(chain.nodes[chain.vnf_pos[j]], static_cast<int>(j) + 1);
+    }
+  }
+  return out;
+}
+
+void ChainPool::rebuild_enabled() {
+  enabled_.clear();
+  for (const auto& [id, chain] : chains_) {
+    for (std::size_t j = 0; j < chain.vnf_pos.size(); ++j) {
+      const NodeId vm = chain.nodes[chain.vnf_pos[j]];
+      enabled_.emplace(vm, Owner{static_cast<int>(j) + 1, id, chain.vnf_pos[j]});
+    }
+  }
+}
+
+void ChainPool::commit(int id, DeployedChain chain) {
+  for (std::size_t j = 0; j < chain.vnf_pos.size(); ++j) {
+    const NodeId vm = chain.nodes[chain.vnf_pos[j]];
+    const int idx = static_cast<int>(j) + 1;
+    const auto it = enabled_.find(vm);
+    assert((it == enabled_.end() || it->second.index == idx) &&
+           "commit requires a conflict-free chain");
+    if (it == enabled_.end()) {
+      enabled_.emplace(vm, Owner{idx, id, chain.vnf_pos[j]});
+    }
+  }
+  chains_[id] = std::move(chain);
+}
+
+bool ChainPool::resolve(int id, DeployedChain& w,
+                        std::vector<std::pair<int, DeployedChain>>& requeue) {
+  const int chain_length = p_->chain_length;
+  int budget = 16 + 4 * chain_length * static_cast<int>((chains_.size() + 2) * (chains_.size() + 2));
+
+  while (true) {
+    // Conflicts of w against the committed enablement, last-position first
+    // ("backtracking W").
+    struct Conflict {
+      std::size_t pos;  // position of the slot in w
+      int planned;      // 1-based index w plans at this VM
+      NodeId vm;
+    };
+    std::vector<Conflict> conflicts;
+    for (std::size_t j = 0; j < w.vnf_pos.size(); ++j) {
+      const NodeId vm = w.nodes[w.vnf_pos[j]];
+      const auto it = enabled_.find(vm);
+      if (it != enabled_.end() && it->second.index != static_cast<int>(j) + 1) {
+        conflicts.push_back(Conflict{w.vnf_pos[j], static_cast<int>(j) + 1, vm});
+      }
+    }
+    if (conflicts.empty()) {
+      commit(id, std::move(w));
+      return true;
+    }
+    if (budget-- <= 0) {
+      ++stats_.dropped;
+      return false;
+    }
+
+    const Conflict& c = *std::max_element(
+        conflicts.begin(), conflicts.end(),
+        [](const Conflict& a, const Conflict& b) { return a.pos < b.pos; });
+    const Owner owner = enabled_.at(c.vm);
+    const DeployedChain& w1 = chains_.at(owner.chain_id);
+    const int i = owner.index;
+    const int j = c.planned;
+    const std::size_t pos_w = c.pos;
+    const std::size_t pos_w1 = owner.pos;
+
+    // Tail pieces of w strictly after the conflict VM u.
+    const std::vector<NodeId> tail_after_u(w.nodes.begin() + static_cast<std::ptrdiff_t>(pos_w) + 1,
+                                           w.nodes.end());
+    std::vector<std::size_t> slots_after_u;
+    for (std::size_t pos : w.vnf_pos) {
+      if (pos > pos_w) slots_after_u.push_back(pos - pos_w - 1);
+    }
+
+    if (j <= i) {
+      // Case 1 (Fig. 5a): adopt w1's prefix through u.
+      auto spliced = splice_chains(w1, pos_w1, i, tail_after_u, slots_after_u, chain_length);
+      if (!spliced) {
+        ++stats_.dropped;
+        return false;
+      }
+      w = std::move(*spliced);
+      ++stats_.case1;
+      continue;
+    }
+
+    // Case 2 (Fig. 5b): find another conflict VM wv earlier on w where w1
+    // runs f_h with h >= j; adopt w1's prefix through wv, keep w's wv→u
+    // segment as pass-through and w's suffix after u.
+    std::map<NodeId, std::pair<int, std::size_t>> w1_slots;  // vm -> (h, pos in w1)
+    for (std::size_t jj = 0; jj < w1.vnf_pos.size(); ++jj) {
+      w1_slots.emplace(w1.nodes[w1.vnf_pos[jj]],
+                       std::make_pair(static_cast<int>(jj) + 1, w1.vnf_pos[jj]));
+    }
+    int best_h = -1;
+    std::size_t best_pos_w1 = 0, best_pw = 0;
+    for (std::size_t jj = 0; jj < w.vnf_pos.size(); ++jj) {
+      const std::size_t pw = w.vnf_pos[jj];
+      if (pw >= pos_w) break;
+      const NodeId wv = w.nodes[pw];
+      const auto it = w1_slots.find(wv);
+      if (it == w1_slots.end()) continue;
+      const int h = it->second.first;
+      if (h == static_cast<int>(jj) + 1) continue;  // agreement, not a conflict
+      if (h >= j && h > best_h) {
+        best_h = h;
+        best_pos_w1 = it->second.second;
+        best_pw = pw;
+      }
+    }
+    if (best_h >= 0) {
+      // Tail = w's nodes after wv; reassignable slots only after u.
+      const std::vector<NodeId> tail(w.nodes.begin() + static_cast<std::ptrdiff_t>(best_pw) + 1,
+                                     w.nodes.end());
+      std::vector<std::size_t> slots;
+      for (std::size_t pos : w.vnf_pos) {
+        if (pos > pos_w) slots.push_back(pos - best_pw - 1);
+      }
+      auto spliced = splice_chains(w1, best_pos_w1, best_h, tail, slots, chain_length);
+      if (!spliced) {
+        ++stats_.dropped;
+        return false;
+      }
+      w = std::move(*spliced);
+      ++stats_.case2;
+      continue;
+    }
+
+    // Case 3 (Fig. 5c): rewrite the committed chain w1 to adopt w's prefix
+    // through u; w1 is re-validated afterwards.
+    const std::vector<NodeId> w1_tail(w1.nodes.begin() + static_cast<std::ptrdiff_t>(pos_w1) + 1,
+                                      w1.nodes.end());
+    std::vector<std::size_t> w1_slots_after;
+    for (std::size_t pos : w1.vnf_pos) {
+      if (pos > pos_w1) w1_slots_after.push_back(pos - pos_w1 - 1);
+    }
+    auto new_w1 = splice_chains(w, pos_w, j, w1_tail, w1_slots_after, chain_length);
+    if (!new_w1) {
+      ++stats_.dropped;
+      return false;
+    }
+    const int w1_id = owner.chain_id;
+    chains_.erase(w1_id);
+    rebuild_enabled();
+    requeue.emplace_back(w1_id, std::move(*new_w1));
+    ++stats_.case3;
+    ++stats_.requeued;
+  }
+}
+
+bool ChainPool::add(int id, DeployedChain chain) {
+  std::deque<std::pair<int, DeployedChain>> queue;
+  queue.emplace_back(id, std::move(chain));
+  bool primary_ok = true;
+  int global_budget = 64 + 8 * static_cast<int>((chains_.size() + 2) * (chains_.size() + 2));
+  while (!queue.empty()) {
+    if (global_budget-- <= 0) {
+      // Abandon whatever is still pending; callers re-home via find().
+      stats_.dropped += static_cast<int>(queue.size());
+      for (const auto& [cid, c] : queue) {
+        (void)c;
+        if (cid == id) primary_ok = false;
+      }
+      break;
+    }
+    auto [cid, c] = std::move(queue.front());
+    queue.pop_front();
+    std::vector<std::pair<int, DeployedChain>> requeue;
+    const bool ok = resolve(cid, c, requeue);
+    if (!ok && cid == id) primary_ok = false;
+    for (auto& item : requeue) queue.push_back(std::move(item));
+  }
+  return primary_ok && chains_.contains(id);
+}
+
+const DeployedChain* ChainPool::find(int id) const {
+  const auto it = chains_.find(id);
+  return it == chains_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sofe::core

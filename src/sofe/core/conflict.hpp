@@ -1,0 +1,97 @@
+#pragma once
+// VNF-conflict resolution (Section V-B, Procedure 4, Fig. 5).
+//
+// SOFDA deploys one service-chain walk per selected virtual edge.  Walks may
+// compete for a VM with *different* VNF indices ("VNF conflict").  The
+// resolution re-attaches walks to each other — never adding links or VMs and
+// never enabling a new VM — so the 3ρST cost bound survives:
+//
+//   case 1 (Fig. 5a): the new walk W adopts W1's prefix through the conflict
+//     VM u when W's index j at u is <= W1's index i;
+//   case 2 (Fig. 5b): if another conflict VM w carries index h >= j on W1, W
+//     adopts W1's prefix through w, keeps its own w→u segment as pass-through
+//     and its suffix after u;
+//   case 3 (Fig. 5c): otherwise the *existing* walk W1 adopts W's prefix
+//     through u and keeps its own suffix.
+//
+// ChainPool owns the deployed chains, applies the three cases iteratively,
+// and exposes statistics.  If a pathological instance exhausts the iteration
+// budget (never observed in tests; guarded regardless), the chain is dropped
+// and the caller re-homes its destinations onto a committed chain.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/core/problem.hpp"
+
+namespace sofe::core {
+
+/// A service-chain walk deployed (or being deployed) in the forest.
+struct DeployedChain {
+  NodeId source = graph::kInvalidNode;
+  NodeId last_vm = graph::kInvalidNode;    // walk end; where distribution attaches
+  std::vector<NodeId> nodes;               // walk in G
+  std::vector<std::size_t> vnf_pos;        // |C| strictly increasing positions
+};
+
+struct ConflictStats {
+  int case1 = 0;
+  int case2 = 0;
+  int case3 = 0;
+  int requeued = 0;   // committed chains re-validated after a case-3 rewrite
+  int dropped = 0;    // chains abandoned after budget exhaustion (fallback)
+
+  int total_resolved() const noexcept { return case1 + case2 + case3; }
+};
+
+class ChainPool {
+ public:
+  explicit ChainPool(const Problem& p) : p_(&p) {}
+
+  /// Deploys a chain under the given id, resolving VNF conflicts against all
+  /// previously committed chains.  Returns false when resolution failed and
+  /// the chain was dropped (callers re-home its destinations).
+  bool add(int id, DeployedChain chain);
+
+  /// Committed chain by id; nullptr when absent or dropped.
+  const DeployedChain* find(int id) const;
+
+  /// All committed chains (deterministic id order).
+  const std::map<int, DeployedChain>& committed() const noexcept { return chains_; }
+
+  const ConflictStats& stats() const noexcept { return stats_; }
+
+  /// VM -> 1-based VNF index over all committed chains.
+  std::map<NodeId, int> enabled() const;
+
+ private:
+  struct Owner {
+    int index;        // 1-based VNF index the VM runs
+    int chain_id;     // a committed chain carrying this slot
+    std::size_t pos;  // the slot's position within that chain's walk
+  };
+
+  void rebuild_enabled();
+  void commit(int id, DeployedChain chain);
+  bool resolve(int id, DeployedChain& w, std::vector<std::pair<int, DeployedChain>>& requeue);
+
+  const Problem* p_;
+  std::map<int, DeployedChain> chains_;
+  std::map<NodeId, Owner> enabled_;
+  ConflictStats stats_;
+};
+
+/// Splices `prefix[0..prefix_end]` (carrying VNFs f1..fk at `prefix`'s own
+/// slot positions <= prefix_end) with `tail_nodes` (appended verbatim), and
+/// assigns f_{k+1}..f_{|C|} to the last eligible original tail slots.
+/// Tail slots whose VM already runs one of f1..fk in the prefix become
+/// pass-through.  Returns std::nullopt when too few eligible tail slots
+/// remain (the caller falls back).
+std::optional<DeployedChain> splice_chains(const DeployedChain& prefix, std::size_t prefix_end,
+                                           int k, const std::vector<NodeId>& tail_nodes,
+                                           const std::vector<std::size_t>& tail_slot_pos,
+                                           int chain_length);
+
+}  // namespace sofe::core

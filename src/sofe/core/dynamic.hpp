@@ -1,0 +1,72 @@
+#pragma once
+// Dynamic adjustments of a live service overlay forest (Section VII-C).
+//
+// DynamicForest owns a Problem copy plus the current ServiceForest and
+// supports the six operations the paper describes:
+//   1. destination leave   — drop the walk; shared structure stays paid-for
+//                            by the remaining walks (cost dedup handles the
+//                            paper's prune-to-branch-node rule);
+//   2. destination join    — attach the newcomer at the forest node u that
+//                            minimizes the completion-walk cost, installing
+//                            the remaining |C|-f(u) VNFs via k-stroll;
+//   3. VNF deletion        — the VM of f_j becomes pass-through everywhere;
+//   4. VNF insertion       — every walk detours through an available VM
+//                            minimizing d(u,v)+c(v)+d(v,w), sharing picks;
+//   5. link congestion     — update the link cost, then re-route each walk
+//                            segment that crosses it;
+//   6. VM overload         — update the VM cost and migrate its VNF to an
+//                            available VM with the cheapest total detour.
+//
+// Every operation preserves feasibility (validated in tests).
+
+#include <map>
+#include <vector>
+
+#include "sofe/core/chain_walk.hpp"
+#include "sofe/core/forest.hpp"
+#include "sofe/core/validate.hpp"
+
+namespace sofe::core {
+
+class DynamicForest {
+ public:
+  /// Takes ownership of a problem copy and an initial (feasible) forest.
+  DynamicForest(Problem p, ServiceForest f) : p_(std::move(p)), f_(std::move(f)) {}
+
+  const Problem& problem() const noexcept { return p_; }
+  const ServiceForest& forest() const noexcept { return f_; }
+  Cost cost() const { return total_cost(p_, f_); }
+
+  /// Operation 1.  Returns false when d is not currently served.
+  bool destination_leave(NodeId d);
+
+  /// Operation 2.  Returns false when no feasible attachment exists.
+  bool destination_join(NodeId d, const AlgoOptions& opt = {});
+
+  /// Operation 3: removes VNF f_j (1-based).  Requires 1 <= j <= |C|.
+  bool vnf_delete(int j);
+
+  /// Operation 4: inserts a new VNF that becomes f_j (1-based, j in
+  /// [1, |C|+1]).  Returns false when no VM is available for some walk.
+  bool vnf_insert(int j, const AlgoOptions& opt = {});
+
+  /// Operation 5: sets a new cost on edge e and re-routes every walk segment
+  /// crossing it.  Returns the number of re-routed segments.
+  int reroute_link(EdgeId e, Cost new_cost);
+
+  /// Operation 6: sets a new setup cost on VM v and migrates its VNF (if
+  /// enabled) to the available VM minimizing the forest-wide detour.
+  /// Returns false if v is enabled and no replacement exists.
+  bool migrate_vm(NodeId v, Cost new_cost, const AlgoOptions& opt = {});
+
+ private:
+  /// Dijkstra from `from`, cached per epoch (invalidated on cost changes).
+  const graph::ShortestPathTree& paths_from(NodeId from);
+  void invalidate_paths() { path_cache_.clear(); }
+
+  Problem p_;
+  ServiceForest f_;
+  std::map<NodeId, graph::ShortestPathTree> path_cache_;
+};
+
+}  // namespace sofe::core

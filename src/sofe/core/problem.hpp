@@ -1,0 +1,68 @@
+#pragma once
+// The Service Overlay Forest (SOF) problem instance (Section III).
+
+#include <cstdint>
+#include <vector>
+
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::core {
+
+using graph::Cost;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+/// A SOF instance: network G = (M ∪ U, E), sources S, destinations D and the
+/// demanded chain length |C|.  VNFs are anonymous — only their position in
+/// the chain matters — so the chain is represented by its length; a VM's
+/// assignment is "which chain position (1-based) it runs".
+struct Problem {
+  Graph network;
+  std::vector<Cost> node_cost;        // setup cost c(v); must be 0 for switches
+  std::vector<std::uint8_t> is_vm;    // 1 iff v ∈ M
+  std::vector<NodeId> sources;        // S
+  std::vector<NodeId> destinations;   // D
+  int chain_length = 1;               // |C| >= 1
+
+  /// Appendix D: per-source setup cost c(s).  Empty means all zero (the
+  /// paper's main model, footnote iii).
+  std::vector<Cost> source_setup_cost;
+
+  bool has_source_costs() const noexcept { return !source_setup_cost.empty(); }
+
+  Cost source_cost(NodeId s) const {
+    return has_source_costs() ? source_setup_cost[static_cast<std::size_t>(s)] : 0.0;
+  }
+
+  std::vector<NodeId> vms() const {
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < network.node_count(); ++v) {
+      if (is_vm[static_cast<std::size_t>(v)]) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Cheap structural sanity checks; returns false with no diagnosis (the
+  /// validator in validate.hpp produces detailed reports for solutions).
+  bool well_formed() const {
+    const auto n = static_cast<std::size_t>(network.node_count());
+    if (node_cost.size() != n || is_vm.size() != n) return false;
+    if (has_source_costs() && source_setup_cost.size() != n) return false;
+    if (chain_length < 0) return false;
+    for (NodeId v = 0; v < network.node_count(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (!is_vm[i] && node_cost[i] != 0.0) return false;  // switches cost 0
+      if (node_cost[i] < 0.0) return false;
+    }
+    for (NodeId s : sources) {
+      if (!network.valid_node(s)) return false;
+    }
+    for (NodeId d : destinations) {
+      if (!network.valid_node(d)) return false;
+    }
+    return !sources.empty();
+  }
+};
+
+}  // namespace sofe::core

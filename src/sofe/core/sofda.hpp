@@ -1,0 +1,35 @@
+#pragma once
+// SOFDA (Algorithm 2): the 3ρST-approximation for the general SOF problem
+// with multiple sources (Section V).
+//
+// Pipeline:
+//   1. price every candidate service chain (source v -> last VM u) by a
+//      (|C|+1)-stroll on the Procedure-1 metric instance;
+//   2. build the auxiliary Steiner instance Ĝ (Procedure 3): a virtual
+//      source ŝ, zero-cost edges to source duplicates v̂, virtual edges
+//      (v̂, û) priced by the chains, and zero-cost edges û -> u;
+//   3. find a Steiner tree over {ŝ} ∪ D (cost ≤ 3ρST · OPT by Lemma 2);
+//   4. deploy the chain of every selected virtual edge, resolving VNF
+//      conflicts (Procedure 4) without adding links or enabling new VMs;
+//   5. route each destination along T ∩ G from its chain's last VM.
+
+#include "sofe/core/chain_walk.hpp"
+#include "sofe/core/conflict.hpp"
+#include "sofe/core/forest.hpp"
+
+namespace sofe::core {
+
+struct SofdaStats {
+  ConflictStats conflicts;
+  int candidate_chains = 0;   // feasible (source, last VM) pairs priced
+  int deployed_chains = 0;    // virtual edges selected by the Steiner tree
+  int rehomed_destinations = 0;  // served via the drop-fallback (0 in practice)
+  Cost steiner_tree_cost = 0.0;  // cost of T in Ĝ (the 3ρST·OPT certificate)
+};
+
+/// Runs SOFDA.  Returns an empty forest when the instance is infeasible
+/// (no destinations, or no source can reach a full chain and a destination).
+ServiceForest sofda(const Problem& p, const AlgoOptions& opt = {},
+                    SofdaStats* stats = nullptr);
+
+}  // namespace sofe::core

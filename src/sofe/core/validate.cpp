@@ -1,0 +1,117 @@
+#include "sofe/core/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace sofe::core {
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << errors[i];
+  }
+  return os.str();
+}
+
+ValidationReport validate(const Problem& p, const ServiceForest& forest) {
+  ValidationReport r;
+  if (!p.well_formed()) {
+    r.fail("problem instance is malformed");
+    return r;
+  }
+  const auto chain = static_cast<std::size_t>(p.chain_length);
+
+  // Constraint (1)/(3): exactly one walk per destination.
+  std::map<NodeId, int> walk_count;
+  for (const ChainWalk& w : forest.walks) ++walk_count[w.destination];
+  for (NodeId d : p.destinations) {
+    const auto it = walk_count.find(d);
+    if (it == walk_count.end()) {
+      r.fail("destination " + std::to_string(d) + " is not served");
+    } else if (it->second != 1) {
+      r.fail("destination " + std::to_string(d) + " served by " +
+             std::to_string(it->second) + " walks");
+    }
+  }
+  const std::set<NodeId> dest_set(p.destinations.begin(), p.destinations.end());
+  for (const ChainWalk& w : forest.walks) {
+    if (!dest_set.contains(w.destination)) {
+      r.fail("walk serves non-destination " + std::to_string(w.destination));
+    }
+  }
+
+  const std::set<NodeId> source_set(p.sources.begin(), p.sources.end());
+  std::map<NodeId, int> enabled;  // VM -> 1-based VNF index (constraint (6))
+
+  for (const ChainWalk& w : forest.walks) {
+    const std::string tag = "walk to " + std::to_string(w.destination);
+    if (w.nodes.empty()) {
+      r.fail(tag + ": empty node sequence");
+      continue;
+    }
+    // Endpoints.
+    if (!source_set.contains(w.source)) {
+      r.fail(tag + ": source " + std::to_string(w.source) + " not in S");
+    }
+    if (w.nodes.front() != w.source) {
+      r.fail(tag + ": does not start at its source");
+    }
+    if (w.nodes.back() != w.destination) {
+      r.fail(tag + ": does not end at its destination");
+    }
+    // Adjacency (routing constraints (7)-(8) structurally).
+    for (std::size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+      if (w.nodes[i] == w.nodes[i + 1]) {
+        r.fail(tag + ": repeated node at step " + std::to_string(i));
+        continue;
+      }
+      if (p.network.find_edge(w.nodes[i], w.nodes[i + 1]) == graph::kInvalidEdge) {
+        r.fail(tag + ": no link between " + std::to_string(w.nodes[i]) + " and " +
+               std::to_string(w.nodes[i + 1]));
+      }
+    }
+    // Constraint (2): |C| VMs in strictly increasing walk positions.
+    if (w.vnf_pos.size() != chain) {
+      r.fail(tag + ": expected " + std::to_string(chain) + " VNFs, found " +
+             std::to_string(w.vnf_pos.size()));
+      continue;
+    }
+    for (std::size_t j = 0; j < w.vnf_pos.size(); ++j) {
+      const std::size_t pos = w.vnf_pos[j];
+      if (pos >= w.nodes.size()) {
+        r.fail(tag + ": VNF position out of range");
+        continue;
+      }
+      if (j > 0 && w.vnf_pos[j - 1] >= pos) {
+        r.fail(tag + ": VNF positions not strictly increasing");
+      }
+      const NodeId vm = w.nodes[pos];
+      if (!p.is_vm[static_cast<std::size_t>(vm)]) {
+        r.fail(tag + ": f" + std::to_string(j + 1) + " placed on non-VM node " +
+               std::to_string(vm));
+        continue;
+      }
+      // Constraints (5)-(6): one VNF per VM across the forest.
+      const int idx = static_cast<int>(j) + 1;
+      const auto [it, inserted] = enabled.emplace(vm, idx);
+      if (!inserted && it->second != idx) {
+        r.fail("VNF conflict: VM " + std::to_string(vm) + " assigned f" +
+               std::to_string(it->second) + " and f" + std::to_string(idx));
+      }
+    }
+    // A chain must also use distinct VMs within one walk (a VM cannot run two
+    // VNFs, even for the same destination).
+    std::set<NodeId> seen;
+    for (std::size_t pos : w.vnf_pos) {
+      if (pos < w.nodes.size() && !seen.insert(w.nodes[pos]).second) {
+        r.fail(tag + ": the same VM runs two VNFs of one chain");
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace sofe::core

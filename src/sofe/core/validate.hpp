@@ -1,0 +1,40 @@
+#pragma once
+// Feasibility validation of a ServiceForest against a Problem.
+//
+// Mirrors the IP constraints of Section III-A: one served walk per
+// destination rooted at a source (1), |C| VMs in order (2), destination
+// terminal (3)-(4), and at most one VNF per VM across the whole forest
+// (5)-(6).  Routing constraints (7)-(8) are enforced structurally: every
+// consecutive walk pair must be a real link of G.
+
+#include <string>
+#include <vector>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/core/problem.hpp"
+
+namespace sofe::core {
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    errors.push_back(std::move(msg));
+  }
+
+  /// All error messages joined; empty when ok.
+  std::string summary() const;
+};
+
+/// Full feasibility check.  `forest` is feasible iff the report's ok flag is
+/// set; every violated requirement adds one human-readable error.
+ValidationReport validate(const Problem& p, const ServiceForest& forest);
+
+/// Convenience wrapper for tests.
+inline bool is_feasible(const Problem& p, const ServiceForest& forest) {
+  return validate(p, forest).ok;
+}
+
+}  // namespace sofe::core

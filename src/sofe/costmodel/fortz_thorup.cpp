@@ -1,0 +1,27 @@
+#include "sofe/costmodel/fortz_thorup.hpp"
+
+namespace sofe::costmodel {
+
+double fortz_thorup(double load, double capacity) {
+  assert(load >= 0.0 && capacity > 0.0);
+  const double u = load / capacity;
+  if (u <= 1.0 / 3.0) return load;
+  if (u <= 2.0 / 3.0) return 3.0 * load - 2.0 / 3.0 * capacity;
+  if (u <= 9.0 / 10.0) return 10.0 * load - 16.0 / 3.0 * capacity;
+  if (u <= 1.0) return 70.0 * load - 178.0 / 3.0 * capacity;
+  if (u <= 11.0 / 10.0) return 500.0 * load - 1468.0 / 3.0 * capacity;
+  return 5000.0 * load - 16318.0 / 3.0 * capacity;
+}
+
+double fortz_thorup_slope(double load, double capacity) {
+  assert(load >= 0.0 && capacity > 0.0);
+  const double u = load / capacity;
+  if (u <= 1.0 / 3.0) return 1.0;
+  if (u <= 2.0 / 3.0) return 3.0;
+  if (u <= 9.0 / 10.0) return 10.0;
+  if (u <= 1.0) return 70.0;
+  if (u <= 11.0 / 10.0) return 500.0;
+  return 5000.0;
+}
+
+}  // namespace sofe::costmodel

@@ -1,0 +1,30 @@
+#pragma once
+// The convex piecewise-linear load cost of Section VII-B (Fig. 7), taken
+// from Fortz & Thorup's OSPF weight optimization [46].
+//
+// With load l and capacity p:
+//
+//   c(l) = l                      l/p <= 1/3
+//          3l  -    2/3 p         l/p <= 2/3
+//          10l -   16/3 p         l/p <= 9/10
+//          70l -  178/3 p         l/p <= 1
+//          500l - 1468/3 p        l/p <= 11/10
+//          5000l - 16318/3 p      otherwise
+//
+// Note: the paper prints the last intercept as 14318/3, which breaks
+// continuity at l/p = 11/10; the original Fortz-Thorup function (and Fig. 7
+// itself) uses 16318/3, which we implement.  Continuity at every breakpoint
+// is unit-tested.
+
+#include <cassert>
+
+namespace sofe::costmodel {
+
+/// Piecewise-linear congestion cost; homogeneous: cost(a*l, a*p) = a*cost(l,p).
+double fortz_thorup(double load, double capacity);
+
+/// Derivative (slope) of the cost at the given utilization; used by tests
+/// and by marginal-cost pricing in the online simulator.
+double fortz_thorup_slope(double load, double capacity);
+
+}  // namespace sofe::costmodel

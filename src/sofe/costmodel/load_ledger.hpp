@@ -1,0 +1,64 @@
+#pragma once
+// Load bookkeeping for online deployment (Sections VII-B, VIII-C): tracks
+// per-link bandwidth and per-DC host utilization, and converts them into
+// Fortz-Thorup costs for the next request's problem instance.
+
+#include <vector>
+
+#include "sofe/costmodel/fortz_thorup.hpp"
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::costmodel {
+
+using graph::Cost;
+using graph::EdgeId;
+using graph::NodeId;
+
+class LoadLedger {
+ public:
+  /// `links` = number of physical links, each with `link_capacity` (Mb/s);
+  /// `hosts` = number of DC hosts, each fitting `host_capacity` VNFs.
+  LoadLedger(std::size_t links, double link_capacity, std::size_t hosts,
+             double host_capacity)
+      : link_load_(links, 0.0),
+        host_load_(hosts, 0.0),
+        link_capacity_(link_capacity),
+        host_capacity_(host_capacity) {}
+
+  void add_link_load(EdgeId e, double mbps) {
+    link_load_[static_cast<std::size_t>(e)] += mbps;
+  }
+  void add_host_load(std::size_t host, double vnfs) { host_load_[host] += vnfs; }
+
+  double link_load(EdgeId e) const { return link_load_[static_cast<std::size_t>(e)]; }
+  double link_utilization(EdgeId e) const { return link_load(e) / link_capacity_; }
+  double host_load(std::size_t host) const { return host_load_[host]; }
+
+  /// Price of carrying `demand` more Mb/s over link e: the cost function
+  /// evaluated at the post-placement load (a congested link prices itself
+  /// out, per Section VII-B).
+  Cost link_price(EdgeId e, double demand) const {
+    return fortz_thorup(link_load(e) + demand, link_capacity_);
+  }
+
+  /// Price of placing one more VNF on a host.
+  Cost host_price(std::size_t host) const {
+    return fortz_thorup(host_load(host) + 1.0, host_capacity_);
+  }
+
+  std::size_t overloaded_links(double threshold = 1.0) const {
+    std::size_t n = 0;
+    for (std::size_t e = 0; e < link_load_.size(); ++e) {
+      if (link_load_[e] > threshold * link_capacity_) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<double> link_load_;
+  std::vector<double> host_load_;
+  double link_capacity_;
+  double host_capacity_;
+};
+
+}  // namespace sofe::costmodel

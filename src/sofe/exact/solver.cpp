@@ -1,0 +1,407 @@
+#include "sofe/exact/solver.hpp"
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/util/stopwatch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace sofe::exact {
+
+namespace {
+
+using graph::kInfiniteCost;
+
+/// Stage-expanded digraph.  Node ids: (v, j) -> j * n + v for j in [0, L],
+/// root = (L + 1) * n.  Arcs are stored flat with in/out adjacency.
+struct Layered {
+  struct Arc {
+    int from, to;
+    Cost cost;
+    // For VNF arcs: the VM and 1-based stage it enables; -1 otherwise.
+    NodeId vm = graph::kInvalidNode;
+    int stage = -1;
+  };
+
+  int n = 0, layers = 0, root = 0, node_count = 0;
+  std::vector<Arc> arcs;
+  std::vector<std::vector<int>> out, in;
+
+  int id(NodeId v, int j) const { return j * n + v; }
+
+  void add_arc(int from, int to, Cost cost, NodeId vm = graph::kInvalidNode, int stage = -1) {
+    const int a = static_cast<int>(arcs.size());
+    arcs.push_back(Arc{from, to, cost, vm, stage});
+    out[static_cast<std::size_t>(from)].push_back(a);
+    in[static_cast<std::size_t>(to)].push_back(a);
+  }
+};
+
+Layered build_layered(const Problem& p) {
+  Layered L;
+  L.n = p.network.node_count();
+  L.layers = p.chain_length;
+  L.node_count = (L.layers + 1) * L.n + 1;
+  L.root = L.node_count - 1;
+  L.out.resize(static_cast<std::size_t>(L.node_count));
+  L.in.resize(static_cast<std::size_t>(L.node_count));
+
+  for (int j = 0; j <= L.layers; ++j) {
+    for (graph::EdgeId e = 0; e < p.network.edge_count(); ++e) {
+      const auto& ed = p.network.edge(e);
+      L.add_arc(L.id(ed.u, j), L.id(ed.v, j), ed.cost);
+      L.add_arc(L.id(ed.v, j), L.id(ed.u, j), ed.cost);
+    }
+  }
+  // Symmetry breaking for interchangeable VMs: VMs whose whole connectivity
+  // is a single equal-cost tap onto the same node are mutually swappable, so
+  // WLOG an optimum assigns the group's k-th cheapest VM to the k-th
+  // smallest stage it serves — hence rank-k VMs (0-based) need no stage arcs
+  // below stage k+1.  This prunes the branch-and-bound tree of
+  // permutation-equivalent assignments without affecting the optimum value.
+  std::map<NodeId, int> symmetry_rank;
+  {
+    std::map<std::pair<NodeId, long long>, std::vector<NodeId>> groups;
+    for (NodeId v = 0; v < L.n; ++v) {
+      if (!p.is_vm[static_cast<std::size_t>(v)]) continue;
+      const auto nb = p.network.neighbors(v);
+      if (nb.size() == 1) {
+        const long long microcost =
+            static_cast<long long>(p.network.edge(nb[0].edge).cost * 1e9);
+        groups[{nb[0].to, microcost}].push_back(v);
+      } else {
+        symmetry_rank[v] = 0;
+      }
+    }
+    for (auto& [key, members] : groups) {
+      (void)key;
+      std::stable_sort(members.begin(), members.end(), [&](NodeId a, NodeId b) {
+        return p.node_cost[static_cast<std::size_t>(a)] < p.node_cost[static_cast<std::size_t>(b)];
+      });
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        symmetry_rank[members[k]] = static_cast<int>(k);
+      }
+    }
+  }
+  for (int j = 0; j + 1 <= L.layers; ++j) {
+    for (NodeId v = 0; v < L.n; ++v) {
+      if (p.is_vm[static_cast<std::size_t>(v)]) {
+        if (j + 1 < symmetry_rank.at(v) + 1) continue;  // stage j+1 < rank+1
+        L.add_arc(L.id(v, j), L.id(v, j + 1), p.node_cost[static_cast<std::size_t>(v)], v, j + 1);
+      }
+    }
+  }
+  std::set<NodeId> srcs(p.sources.begin(), p.sources.end());
+  for (NodeId s : srcs) {
+    L.add_arc(L.root, L.id(s, 0), p.source_cost(s));
+  }
+  return L;
+}
+
+/// Exact directed Steiner arborescence DP with an arc-disable mask.
+/// Returns cost and the selected arc set (deduplicated).
+struct DstResult {
+  Cost cost = kInfiniteCost;
+  std::vector<int> arcs;
+};
+
+class DstSolver {
+ public:
+  DstSolver(const Layered& L, const std::vector<int>& terminals)
+      : L_(&L), terminals_(terminals) {
+    const int t = static_cast<int>(terminals_.size());
+    const std::uint32_t full = (1u << t) - 1u;
+    const auto nodes = static_cast<std::size_t>(L_->node_count);
+    val_.assign(full + 1, std::vector<Cost>(nodes, kInfiniteCost));
+    dec_.assign(full + 1, std::vector<Decision>(nodes));
+    for (std::uint32_t m = 1; m <= full; ++m) {
+      if (std::popcount(m) >= 2) masks_.push_back(m);
+    }
+    std::stable_sort(masks_.begin(), masks_.end(), [](std::uint32_t a, std::uint32_t b) {
+      return std::popcount(a) < std::popcount(b);
+    });
+  }
+
+  /// Exact DP under the given arc-enable mask; buffers are reused across
+  /// branch-and-bound nodes.
+  DstResult solve(const std::vector<bool>& arc_enabled) {
+    enabled_ = &arc_enabled;
+    const int t = static_cast<int>(terminals_.size());
+    const std::uint32_t full = (1u << t) - 1u;
+    const auto nodes = static_cast<std::size_t>(L_->node_count);
+
+    // Base: singleton subsets via backward Dijkstra from each terminal
+    // (val[v] = cheapest v -> terminal path).
+    for (int i = 0; i < t; ++i) {
+      const std::uint32_t mask = 1u << i;
+      std::fill(val_[mask].begin(), val_[mask].end(), kInfiniteCost);
+      std::fill(dec_[mask].begin(), dec_[mask].end(), Decision{});
+      val_[mask][static_cast<std::size_t>(terminals_[static_cast<std::size_t>(i)])] = 0.0;
+      relax(mask);
+    }
+    for (std::uint32_t X : masks_) {
+      std::fill(val_[X].begin(), val_[X].end(), kInfiniteCost);
+      std::fill(dec_[X].begin(), dec_[X].end(), Decision{});
+      const std::uint32_t low = X & (~X + 1u);
+      for (std::uint32_t sub = (X - 1) & X; sub > 0; sub = (sub - 1) & X) {
+        if (!(sub & low)) continue;
+        const std::uint32_t rest = X ^ sub;
+        for (std::size_t v = 0; v < nodes; ++v) {
+          if (val_[sub][v] == kInfiniteCost || val_[rest][v] == kInfiniteCost) continue;
+          const Cost c = val_[sub][v] + val_[rest][v];
+          if (c < val_[X][v]) {
+            val_[X][v] = c;
+            dec_[X][v] = Decision{sub, -1};
+          }
+        }
+      }
+      relax(X);
+    }
+
+    DstResult res;
+    res.cost = val_[full][static_cast<std::size_t>(L_->root)];
+    if (res.cost == kInfiniteCost) return res;
+    // Reconstruct the arc set.
+    std::set<int> arcs;
+    std::vector<std::pair<std::uint32_t, int>> stack{{full, L_->root}};
+    while (!stack.empty()) {
+      const auto [X, v] = stack.back();
+      stack.pop_back();
+      const Decision d = dec_[X][static_cast<std::size_t>(v)];
+      if (d.split != 0) {
+        stack.emplace_back(d.split, v);
+        stack.emplace_back(X ^ d.split, v);
+      } else if (d.via_arc >= 0) {
+        arcs.insert(d.via_arc);
+        stack.emplace_back(X, L_->arcs[static_cast<std::size_t>(d.via_arc)].to);
+      }
+      // split == 0 && via_arc < 0: v is the subset's terminal; done.
+    }
+    res.arcs.assign(arcs.begin(), arcs.end());
+    return res;
+  }
+
+ private:
+  struct Decision {
+    std::uint32_t split = 0;  // nonzero => merge of (split, X^split) at v
+    int via_arc = -1;         // >= 0 => follow this out-arc
+  };
+
+  /// Dijkstra sweep: val[v] = min(val[v], min over enabled arcs (v -> w) of
+  /// arc.cost + val[w]).  Initial labels are the merge results.
+  void relax(std::uint32_t X) {
+    struct Item {
+      Cost cost;
+      int node;
+      bool operator>(const Item& o) const noexcept {
+        if (cost != o.cost) return cost > o.cost;
+        return node > o.node;
+      }
+    };
+    auto& val = val_[X];
+    auto& dec = dec_[X];
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    for (std::size_t v = 0; v < val.size(); ++v) {
+      if (val[v] < kInfiniteCost) heap.push({val[v], static_cast<int>(v)});
+    }
+    while (!heap.empty()) {
+      const auto [c, w] = heap.top();
+      heap.pop();
+      if (c > val[static_cast<std::size_t>(w)]) continue;
+      for (int a : L_->in[static_cast<std::size_t>(w)]) {
+        if (!(*enabled_)[static_cast<std::size_t>(a)]) continue;
+        const auto& arc = L_->arcs[static_cast<std::size_t>(a)];
+        const Cost nc = c + arc.cost;
+        if (nc < val[static_cast<std::size_t>(arc.from)]) {
+          val[static_cast<std::size_t>(arc.from)] = nc;
+          dec[static_cast<std::size_t>(arc.from)] = Decision{0, a};
+          heap.push({nc, arc.from});
+        }
+      }
+    }
+  }
+
+  const Layered* L_;
+  std::vector<int> terminals_;
+  const std::vector<bool>* enabled_ = nullptr;
+  std::vector<std::uint32_t> masks_;
+  std::vector<std::vector<Cost>> val_;
+  std::vector<std::vector<Decision>> dec_;
+};
+
+/// Finds a VM that the arc set uses at two or more distinct stages.
+/// Returns the VM and its used stages, or nullopt when conflict-free.
+std::optional<std::pair<NodeId, std::vector<int>>> find_vnf_conflict(const Layered& L,
+                                                                     const std::vector<int>& arcs) {
+  std::map<NodeId, std::set<int>> used;
+  for (int a : arcs) {
+    const auto& arc = L.arcs[static_cast<std::size_t>(a)];
+    if (arc.stage >= 1) used[arc.vm].insert(arc.stage);
+  }
+  std::optional<std::pair<NodeId, std::vector<int>>> out;
+  for (const auto& [vm, stages] : used) {
+    if (stages.size() >= 2) {
+      out = {vm, std::vector<int>(stages.begin(), stages.end())};
+      break;  // deterministic: lowest VM id
+    }
+  }
+  return out;
+}
+
+/// Converts a conflict-free arborescence arc set into a ServiceForest.
+ServiceForest forest_from_arcs(const Problem& p, const Layered& L, const std::vector<int>& arcs) {
+  // parent arc per layered node (arborescence => unique; ties resolved by
+  // first-seen during BFS from the root).
+  std::vector<int> parent_arc(static_cast<std::size_t>(L.node_count), -1);
+  std::vector<std::vector<int>> children(static_cast<std::size_t>(L.node_count));
+  for (int a : arcs) {
+    children[static_cast<std::size_t>(L.arcs[static_cast<std::size_t>(a)].from)].push_back(a);
+  }
+  std::vector<bool> reached(static_cast<std::size_t>(L.node_count), false);
+  std::queue<int> q;
+  q.push(L.root);
+  reached[static_cast<std::size_t>(L.root)] = true;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int a : children[static_cast<std::size_t>(v)]) {
+      const int to = L.arcs[static_cast<std::size_t>(a)].to;
+      if (!reached[static_cast<std::size_t>(to)]) {
+        reached[static_cast<std::size_t>(to)] = true;
+        parent_arc[static_cast<std::size_t>(to)] = a;
+        q.push(to);
+      }
+    }
+  }
+
+  ServiceForest f;
+  for (NodeId d : p.destinations) {
+    const int term = L.id(d, L.layers);
+    assert(reached[static_cast<std::size_t>(term)]);
+    // Trace root -> terminal, collecting graph nodes and VNF arcs.
+    std::vector<int> rev_arcs;
+    for (int v = term; parent_arc[static_cast<std::size_t>(v)] >= 0;
+         v = L.arcs[static_cast<std::size_t>(parent_arc[static_cast<std::size_t>(v)])].from) {
+      rev_arcs.push_back(parent_arc[static_cast<std::size_t>(v)]);
+    }
+    core::ChainWalk w;
+    w.destination = d;
+    for (auto it = rev_arcs.rbegin(); it != rev_arcs.rend(); ++it) {
+      const auto& arc = L.arcs[static_cast<std::size_t>(*it)];
+      if (arc.from == L.root) {
+        w.source = arc.to % L.n;  // (s, 0)
+        w.nodes.push_back(w.source);
+      } else if (arc.stage >= 1) {
+        // VNF arc: same graph node, next layer.
+        w.vnf_pos.push_back(w.nodes.size() - 1);
+      } else {
+        w.nodes.push_back(arc.to % L.n);
+      }
+    }
+    f.walks.push_back(std::move(w));
+  }
+  return f;
+}
+
+}  // namespace
+
+ExactResult solve_exact(const Problem& p, const ExactLimits& limits) {
+  assert(p.well_formed());
+  ExactResult best;
+  if (p.destinations.empty()) {
+    best.cost = 0.0;
+    best.optimal = true;
+    return best;
+  }
+  if (static_cast<int>(p.destinations.size()) > limits.max_destinations) return best;
+
+  const Layered L = build_layered(p);
+  std::vector<int> terminals;
+  std::set<NodeId> dset(p.destinations.begin(), p.destinations.end());
+  for (NodeId d : dset) terminals.push_back(L.id(d, L.layers));
+
+  // Prime the incumbent with a feasible heuristic solution: any B&B node
+  // whose relaxation is not strictly better gets pruned immediately, which
+  // collapses the branch tree on instances where the relaxation badly wants
+  // one VM for several stages.  Correctness: the true optimum costs at most
+  // the seed, so the strict `>=` prune never cuts it off; if nothing in the
+  // tree beats the seed, the seed itself is optimal.
+  if (limits.seed_with_heuristic) {
+    const ServiceForest heuristic = core::sofda(p);
+    if (!heuristic.empty() && core::is_feasible(p, heuristic)) {
+      best.cost = core::total_cost(p, heuristic);
+      best.forest = heuristic;
+      best.optimal = true;  // revoked below if the search is truncated
+    }
+  }
+
+  // Branch and bound over arc-enable masks: best-first on the parent's
+  // relaxation bound, with mask memoization (the same restriction set is
+  // reachable through many branch orders — deduplicating collapses the
+  // tree), and one DP solver whose buffers are reused by every node.
+  struct Node {
+    Cost bound;  // parent's relaxation value (a valid lower bound)
+    std::vector<bool> enabled;
+    bool operator>(const Node& o) const noexcept { return bound > o.bound; }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> frontier;
+  frontier.push(Node{0.0, std::vector<bool>(L.arcs.size(), true)});
+  std::set<std::vector<bool>> visited;
+  DstSolver solver(L, terminals);
+  int explored = 0;
+  bool truncated = false;
+
+  const util::Stopwatch watch;
+  while (!frontier.empty()) {
+    if (explored >= limits.max_bnb_nodes || watch.seconds() > limits.max_seconds) {
+      truncated = true;
+      break;
+    }
+    Node node = std::move(const_cast<Node&>(frontier.top()));
+    frontier.pop();
+    if (node.bound >= best.cost) break;  // best-first: nothing better remains
+    if (!visited.insert(node.enabled).second) continue;
+    ++explored;
+
+    const DstResult r = solver.solve(node.enabled);
+    if (r.cost >= best.cost) continue;  // bound (also prunes infeasible)
+
+    const auto conflict = find_vnf_conflict(L, r.arcs);
+    if (!conflict) {
+      best.cost = r.cost;
+      best.forest = forest_from_arcs(p, L, r.arcs);
+      best.optimal = true;
+      continue;
+    }
+    // Branch: the conflicted VM may keep exactly one of its currently
+    // enabled stages ("keep" children also admit solutions where the VM is
+    // unused, so the children jointly cover every feasible completion).
+    const NodeId vm = conflict->first;
+    std::vector<int> enabled_stages;
+    for (std::size_t a = 0; a < L.arcs.size(); ++a) {
+      const auto& arc = L.arcs[a];
+      if (arc.vm == vm && arc.stage >= 1 && node.enabled[a]) enabled_stages.push_back(arc.stage);
+    }
+    for (int keep : enabled_stages) {
+      Node child{r.cost, node.enabled};
+      for (std::size_t a = 0; a < L.arcs.size(); ++a) {
+        const auto& arc = L.arcs[a];
+        if (arc.vm == vm && arc.stage >= 1 && arc.stage != keep) child.enabled[a] = false;
+      }
+      if (!visited.contains(child.enabled)) frontier.push(std::move(child));
+    }
+  }
+  best.bnb_nodes = explored;
+  // Optimality is proven only when the frontier was exhausted or the best
+  // remaining bound cannot beat the incumbent.
+  if (truncated) best.optimal = false;
+  return best;
+}
+
+}  // namespace sofe::exact

@@ -1,0 +1,50 @@
+#pragma once
+// Exact SOF solver (the paper's "CPLEX" comparator).
+//
+// Reduction (DESIGN.md §5): build the stage-expanded digraph L with nodes
+// (v, j) = "data at v after j VNFs", arcs
+//     (u,j) -> (v,j)   cost c(u,v)    (forwarding at stage j)
+//     (v,j) -> (v,j+1) cost c(v)      (v ∈ M runs VNF j+1)
+//     root  -> (s,0)   cost c_src(s)  (source selection; 0 by default)
+// and terminals (d, |C|).  A minimum-cost subgraph of L connecting the root
+// to every terminal is WLOG an arborescence whose cost equals the IP
+// objective; we compute it exactly with a Dreyfus-Wagner-style dynamic
+// program over destination subsets (3^|D| merges + 2^|D| Dijkstra sweeps).
+//
+// The layered relaxation may let one VM run two different VNFs (violating
+// IP constraint (6)); a branch-and-bound wrapper then branches on the
+// conflicted VM's allowed stage until the optimum is conflict-free.  The
+// result is the exact optimum of the SOF problem.
+
+#include <optional>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/core/problem.hpp"
+
+namespace sofe::exact {
+
+using core::Cost;
+using core::NodeId;
+using core::Problem;
+using core::ServiceForest;
+
+struct ExactResult {
+  Cost cost = graph::kInfiniteCost;
+  ServiceForest forest;           // an optimal solution (for validation)
+  int bnb_nodes = 1;              // branch-and-bound tree size
+  bool optimal = false;           // false => infeasible or limits exceeded
+};
+
+struct ExactLimits {
+  int max_destinations = 14;      // 2^|D| DP states
+  int max_bnb_nodes = 4096;       // branch-tree size cap
+  double max_seconds = 300.0;     // wall-clock cap; exceeded => not proven
+  bool seed_with_heuristic = true;  // prime the incumbent with SOFDA's cost
+                                    // so the branch tree prunes aggressively
+};
+
+/// Solves SOF exactly.  Practical for |D| <= ~12 on hundreds of nodes —
+/// exactly the regime where the paper ran CPLEX (SoftLayer only).
+ExactResult solve_exact(const Problem& p, const ExactLimits& limits = {});
+
+}  // namespace sofe::exact

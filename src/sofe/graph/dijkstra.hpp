@@ -1,0 +1,44 @@
+#pragma once
+// Single-source shortest paths (binary-heap Dijkstra) and path extraction.
+//
+// Dijkstra underlies nearly everything in this library: the Procedure-1
+// metric instance, the KMB/Mehlhorn Steiner algorithms, walk lifting, and the
+// exact layered-graph solver all consume `ShortestPathTree`s.
+
+#include <vector>
+
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::graph {
+
+/// Result of one Dijkstra run: distance and predecessor arrays.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Cost> dist;        // dist[v] = d(source, v); +inf if unreachable
+  std::vector<NodeId> parent;    // predecessor node on a shortest path
+  std::vector<EdgeId> parent_edge;  // edge used to reach v from parent[v]
+
+  bool reachable(NodeId v) const { return dist[static_cast<std::size_t>(v)] < kInfiniteCost; }
+
+  Cost distance(NodeId v) const { return dist[static_cast<std::size_t>(v)]; }
+
+  /// Reconstructs the node sequence source -> ... -> target.
+  /// Requires reachable(target).
+  std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Runs Dijkstra from `source` over the whole graph.
+ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+/// Multi-source Dijkstra: distance to the nearest of `sources`, with
+/// `owner[v]` identifying which source claimed v (Mehlhorn's Voronoi
+/// partition).  Ties break toward the smaller source id, deterministically.
+struct VoronoiPartition {
+  std::vector<Cost> dist;
+  std::vector<NodeId> owner;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+};
+VoronoiPartition multi_source_dijkstra(const Graph& g, const std::vector<NodeId>& sources);
+
+}  // namespace sofe::graph

@@ -1,0 +1,51 @@
+#pragma once
+// Disjoint-set union (union by size + path halving).  Used by Kruskal's MST,
+// connectivity checks, and forest-structure validation.
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sofe::graph {
+
+class DisjointSetUnion {
+ public:
+  explicit DisjointSetUnion(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    assert(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  std::size_t component_size(std::size_t x) { return size_[find(x)]; }
+
+  std::size_t component_count() const noexcept { return components_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace sofe::graph

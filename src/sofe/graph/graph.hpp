@@ -1,0 +1,132 @@
+#pragma once
+// Core weighted undirected graph used throughout the library.
+//
+// Design notes (see DESIGN.md §2):
+//  * Nodes are dense integer ids [0, node_count).  Every higher layer
+//    (problem instances, topologies, auxiliary graphs) maps its entities onto
+//    these ids, so the graph stays a small cache-friendly POD store.
+//  * Parallel edges are permitted (the SOFDA auxiliary graph needs several
+//    virtual edges between the same endpoint pair); self loops are not.
+//  * Costs are nonnegative doubles; the library asserts this at insertion.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace sofe::graph {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+using Cost = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::infinity();
+
+/// One undirected edge.  `u < v` is NOT enforced; callers that need a
+/// canonical key use `Graph::edge_key`.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  Cost cost = 0.0;
+
+  /// The endpoint opposite to `from`.  Requires from ∈ {u, v}.
+  NodeId other(NodeId from) const noexcept {
+    assert(from == u || from == v);
+    return from == u ? v : u;
+  }
+};
+
+/// Adjacency entry: neighbouring node plus the edge that reaches it.
+struct Arc {
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+/// Weighted undirected multigraph with O(1) node/edge addition and
+/// contiguous adjacency storage.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId node_count) : adj_(static_cast<std::size_t>(node_count)) {
+    assert(node_count >= 0);
+  }
+
+  NodeId node_count() const noexcept { return static_cast<NodeId>(adj_.size()); }
+  EdgeId edge_count() const noexcept { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Appends an isolated node and returns its id.
+  NodeId add_node() {
+    adj_.emplace_back();
+    return node_count() - 1;
+  }
+
+  /// Adds an undirected edge with nonnegative cost; returns its id.
+  EdgeId add_edge(NodeId u, NodeId v, Cost cost) {
+    assert(valid_node(u) && valid_node(v));
+    assert(u != v && "self loops are not supported");
+    assert(cost >= 0.0 && "edge costs must be nonnegative");
+    const EdgeId id = edge_count();
+    edges_.push_back(Edge{u, v, cost});
+    adj_[static_cast<std::size_t>(u)].push_back(Arc{v, id});
+    adj_[static_cast<std::size_t>(v)].push_back(Arc{u, id});
+    return id;
+  }
+
+  const Edge& edge(EdgeId e) const {
+    assert(valid_edge(e));
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// Mutable edge cost (used by the online simulator when loads change).
+  void set_edge_cost(EdgeId e, Cost cost) {
+    assert(valid_edge(e));
+    assert(cost >= 0.0);
+    edges_[static_cast<std::size_t>(e)].cost = cost;
+  }
+
+  std::span<const Arc> neighbors(NodeId v) const {
+    assert(valid_node(v));
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Degree counting parallel edges.
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+
+  /// First edge between u and v (cheapest if `cheapest`), or kInvalidEdge.
+  EdgeId find_edge(NodeId u, NodeId v, bool cheapest = true) const {
+    EdgeId best = kInvalidEdge;
+    for (const Arc& a : neighbors(u)) {
+      if (a.to != v) continue;
+      if (best == kInvalidEdge || edge(a.edge).cost < edge(best).cost) best = a.edge;
+      if (!cheapest) break;
+    }
+    return best;
+  }
+
+  bool valid_node(NodeId v) const noexcept { return v >= 0 && v < node_count(); }
+  bool valid_edge(EdgeId e) const noexcept { return e >= 0 && e < edge_count(); }
+
+  /// Canonical (min, max) endpoint pair, usable as a map key for undirected
+  /// edge identity irrespective of orientation.
+  static std::pair<NodeId, NodeId> edge_key(NodeId u, NodeId v) noexcept {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  }
+
+  /// Total cost of all edges (diagnostics).
+  Cost total_edge_cost() const {
+    Cost sum = 0.0;
+    for (const Edge& e : edges_) sum += e.cost;
+    return sum;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Arc>> adj_;
+};
+
+}  // namespace sofe::graph

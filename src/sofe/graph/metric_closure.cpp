@@ -1,0 +1,14 @@
+#include "sofe/graph/metric_closure.hpp"
+
+namespace sofe::graph {
+
+MetricClosure::MetricClosure(const Graph& g, const std::vector<NodeId>& hubs) {
+  trees_.reserve(hubs.size());
+  for (NodeId h : hubs) {
+    if (tree_index_.contains(h)) continue;
+    tree_index_.emplace(h, trees_.size());
+    trees_.push_back(dijkstra(g, h));
+  }
+}
+
+}  // namespace sofe::graph

@@ -1,0 +1,47 @@
+#pragma once
+// Metric closure over a subset of "hub" nodes: pairwise shortest-path
+// distances plus stored shortest-path trees for path reconstruction.
+//
+// Procedure 1 of the paper (k-stroll instance construction), the KMB Steiner
+// algorithm, and SOFDA's auxiliary-graph pricing all consult distances among
+// the same hub set {sources} ∪ {VMs} ∪ {destinations}; this class computes
+// each hub's Dijkstra tree once and shares it.
+
+#include <unordered_map>
+#include <vector>
+
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::graph {
+
+class MetricClosure {
+ public:
+  /// Runs Dijkstra from every node in `hubs` (duplicates tolerated).
+  MetricClosure(const Graph& g, const std::vector<NodeId>& hubs);
+
+  /// Shortest-path distance from hub `from` to any node `to`.
+  /// Requires `from` to be a hub.
+  Cost distance(NodeId from, NodeId to) const {
+    return tree(from).distance(to);
+  }
+
+  /// Shortest path (node sequence) from hub `from` to `to`.
+  std::vector<NodeId> path(NodeId from, NodeId to) const {
+    return tree(from).path_to(to);
+  }
+
+  bool is_hub(NodeId v) const { return tree_index_.contains(v); }
+
+  const ShortestPathTree& tree(NodeId hub) const {
+    const auto it = tree_index_.find(hub);
+    assert(it != tree_index_.end() && "node is not a hub of this closure");
+    return trees_[it->second];
+  }
+
+ private:
+  std::vector<ShortestPathTree> trees_;
+  std::unordered_map<NodeId, std::size_t> tree_index_;
+};
+
+}  // namespace sofe::graph

@@ -1,0 +1,124 @@
+#include "sofe/graph/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "sofe/graph/dsu.hpp"
+
+namespace sofe::graph {
+
+TreeEdges minimum_spanning_forest(const Graph& g) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).cost < g.edge(b).cost;
+  });
+  DisjointSetUnion dsu(static_cast<std::size_t>(g.node_count()));
+  TreeEdges out;
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    if (dsu.unite(static_cast<std::size_t>(ed.u), static_cast<std::size_t>(ed.v))) {
+      out.edges.push_back(e);
+    }
+  }
+  return out;
+}
+
+TreeEdges prim_subgraph(const Graph& g, const std::vector<bool>& in_subgraph, NodeId start) {
+  assert(g.valid_node(start));
+  assert(in_subgraph.size() == static_cast<std::size_t>(g.node_count()));
+  assert(in_subgraph[static_cast<std::size_t>(start)]);
+
+  struct Item {
+    Cost cost;
+    EdgeId edge;
+    NodeId to;
+    bool operator>(const Item& o) const noexcept {
+      if (cost != o.cost) return cost > o.cost;
+      return edge > o.edge;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<bool> in_tree(static_cast<std::size_t>(g.node_count()), false);
+  TreeEdges out;
+
+  auto scan = [&](NodeId v) {
+    in_tree[static_cast<std::size_t>(v)] = true;
+    for (const Arc& a : g.neighbors(v)) {
+      if (in_subgraph[static_cast<std::size_t>(a.to)] && !in_tree[static_cast<std::size_t>(a.to)]) {
+        heap.push({g.edge(a.edge).cost, a.edge, a.to});
+      }
+    }
+  };
+  scan(start);
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (in_tree[static_cast<std::size_t>(item.to)]) continue;
+    out.edges.push_back(item.edge);
+    scan(item.to);
+  }
+  return out;
+}
+
+bool is_forest(const Graph& g, const std::vector<EdgeId>& edges) {
+  DisjointSetUnion dsu(static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e : edges) {
+    const Edge& ed = g.edge(e);
+    if (!dsu.unite(static_cast<std::size_t>(ed.u), static_cast<std::size_t>(ed.v))) return false;
+  }
+  return true;
+}
+
+bool spans(const Graph& g, const std::vector<EdgeId>& edges, const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return true;
+  DisjointSetUnion dsu(static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e : edges) {
+    const Edge& ed = g.edge(e);
+    dsu.unite(static_cast<std::size_t>(ed.u), static_cast<std::size_t>(ed.v));
+  }
+  const auto root = dsu.find(static_cast<std::size_t>(nodes.front()));
+  for (NodeId v : nodes) {
+    if (dsu.find(static_cast<std::size_t>(v)) != root) return false;
+  }
+  return true;
+}
+
+std::vector<EdgeId> prune_non_terminal_leaves(const Graph& g, std::vector<EdgeId> edges,
+                                              const std::vector<bool>& keep) {
+  assert(keep.size() == static_cast<std::size_t>(g.node_count()));
+  std::vector<int> degree(static_cast<std::size_t>(g.node_count()), 0);
+  std::vector<bool> alive(edges.size(), true);
+  for (EdgeId e : edges) {
+    ++degree[static_cast<std::size_t>(g.edge(e).u)];
+    ++degree[static_cast<std::size_t>(g.edge(e).v)];
+  }
+  // Repeatedly strip prunable leaves.  Each pass is O(|edges|); the loop runs
+  // at most O(tree diameter) times, trivial at our scales.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      const Edge& ed = g.edge(edges[i]);
+      for (NodeId leaf : {ed.u, ed.v}) {
+        if (degree[static_cast<std::size_t>(leaf)] == 1 && !keep[static_cast<std::size_t>(leaf)]) {
+          alive[i] = false;
+          --degree[static_cast<std::size_t>(ed.u)];
+          --degree[static_cast<std::size_t>(ed.v)];
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<EdgeId> out;
+  out.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (alive[i]) out.push_back(edges[i]);
+  }
+  return out;
+}
+
+}  // namespace sofe::graph

@@ -1,0 +1,42 @@
+#pragma once
+// Minimum spanning tree / forest algorithms (Kruskal and Prim) plus simple
+// tree utilities shared by the Steiner-tree substrate.
+
+#include <vector>
+
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::graph {
+
+/// An (edge-id) subset of a host graph forming a tree or forest.
+struct TreeEdges {
+  std::vector<EdgeId> edges;
+
+  Cost total_cost(const Graph& g) const {
+    Cost sum = 0.0;
+    for (EdgeId e : edges) sum += g.edge(e).cost;
+    return sum;
+  }
+};
+
+/// Kruskal over all edges.  Returns a spanning forest (spanning tree when the
+/// graph is connected).  Deterministic: ties break by edge id.
+TreeEdges minimum_spanning_forest(const Graph& g);
+
+/// Prim restricted to the nodes marked in `in_subgraph` (size = node_count).
+/// Grows from `start`; returns a spanning tree of `start`'s component within
+/// the induced subgraph.
+TreeEdges prim_subgraph(const Graph& g, const std::vector<bool>& in_subgraph, NodeId start);
+
+/// True iff `edges` forms a forest (no cycle) over g.
+bool is_forest(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// True iff `edges` connects every node in `nodes` into one component.
+bool spans(const Graph& g, const std::vector<EdgeId>& edges, const std::vector<NodeId>& nodes);
+
+/// Iteratively removes degree-1 nodes that are not marked `keep` (terminal
+/// pruning for Steiner-tree construction).  Returns the pruned edge set.
+std::vector<EdgeId> prune_non_terminal_leaves(const Graph& g, std::vector<EdgeId> edges,
+                                              const std::vector<bool>& keep);
+
+}  // namespace sofe::graph

@@ -1,0 +1,74 @@
+#include "sofe/graph/oracles.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace sofe::graph {
+
+std::vector<std::vector<Cost>> floyd_warshall(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::vector<Cost>> d(n, std::vector<Cost>(n, kInfiniteCost));
+  for (std::size_t i = 0; i < n; ++i) d[i][i] = 0.0;
+  for (const Edge& e : g.edges()) {
+    const auto u = static_cast<std::size_t>(e.u);
+    const auto v = static_cast<std::size_t>(e.v);
+    d[u][v] = std::min(d[u][v], e.cost);
+    d[v][u] = std::min(d[v][u], e.cost);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfiniteCost) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[k][j] == kInfiniteCost) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<Cost> bellman_ford(const Graph& g, NodeId source) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<Cost> dist(n, kInfiniteCost);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  for (std::size_t round = 0; round + 1 < n; ++round) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      const auto u = static_cast<std::size_t>(e.u);
+      const auto v = static_cast<std::size_t>(e.v);
+      if (dist[u] + e.cost < dist[v]) {
+        dist[v] = dist[u] + e.cost;
+        changed = true;
+      }
+      if (dist[v] + e.cost < dist[u]) {
+        dist[u] = dist[v] + e.cost;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(g.node_count()), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (const Arc& a : g.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = true;
+        ++visited;
+        q.push(a.to);
+      }
+    }
+  }
+  return visited == static_cast<std::size_t>(g.node_count());
+}
+
+}  // namespace sofe::graph

@@ -1,0 +1,20 @@
+#pragma once
+// Slow reference algorithms used as test oracles: Floyd-Warshall all-pairs
+// shortest paths and Bellman-Ford.  Never used on large instances.
+
+#include <vector>
+
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::graph {
+
+/// All-pairs shortest path distance matrix via Floyd-Warshall, O(V^3).
+std::vector<std::vector<Cost>> floyd_warshall(const Graph& g);
+
+/// Bellman-Ford single-source distances, O(V*E).
+std::vector<Cost> bellman_ford(const Graph& g, NodeId source);
+
+/// Connectivity check via BFS.
+bool is_connected(const Graph& g);
+
+}  // namespace sofe::graph

@@ -1,0 +1,199 @@
+#include "sofe/io/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace sofe::io {
+
+using core::Cost;
+using core::NodeId;
+
+namespace {
+
+const char* kStageColors[] = {"black", "blue", "red", "darkgreen", "purple",
+                              "orange", "brown", "cyan4"};
+
+std::string node_attrs(const Problem& p, NodeId v, const std::map<NodeId, int>& enabled) {
+  const bool is_src = std::find(p.sources.begin(), p.sources.end(), v) != p.sources.end();
+  const bool is_dst =
+      std::find(p.destinations.begin(), p.destinations.end(), v) != p.destinations.end();
+  std::ostringstream os;
+  os << "label=\"" << v;
+  if (p.is_vm[static_cast<std::size_t>(v)]) {
+    os << "\\nc=" << p.node_cost[static_cast<std::size_t>(v)];
+    const auto it = enabled.find(v);
+    if (it != enabled.end()) os << "\\nf" << it->second;
+  }
+  os << "\"";
+  if (is_src) {
+    os << ", shape=box, style=filled, fillcolor=lightblue";
+  } else if (is_dst) {
+    os << ", shape=doublecircle, style=filled, fillcolor=lightyellow";
+  } else if (p.is_vm[static_cast<std::size_t>(v)]) {
+    os << ", shape=hexagon, style=filled, "
+       << (enabled.contains(v) ? "fillcolor=palegreen" : "fillcolor=gray90");
+  } else {
+    os << ", shape=circle";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Problem& p) {
+  return to_dot(p, ServiceForest{});
+}
+
+std::string to_dot(const Problem& p, const ServiceForest& f) {
+  const auto enabled = f.enabled_vms();
+  std::ostringstream os;
+  os << "graph sof {\n  overlap=false;\n";
+  for (NodeId v = 0; v < p.network.node_count(); ++v) {
+    os << "  n" << v << " [" << node_attrs(p, v, enabled) << "];\n";
+  }
+  // Stage-edge uses (if any) override plain link styling.
+  std::map<std::pair<NodeId, NodeId>, std::set<int>> stages;
+  for (const auto& se : f.stage_edges()) {
+    stages[{se.u, se.v}].insert(se.stage);
+  }
+  std::set<std::pair<NodeId, NodeId>> drawn;
+  for (const auto& e : p.network.edges()) {
+    const auto key = core::Graph::edge_key(e.u, e.v);
+    if (!drawn.insert(key).second) continue;  // parallel edges share a line
+    os << "  n" << key.first << " -- n" << key.second << " [label=\"" << e.cost << "\"";
+    const auto it = stages.find(key);
+    if (it != stages.end()) {
+      os << ", penwidth=2.5, color=\"";
+      bool first = true;
+      for (int s : it->second) {
+        if (!first) os << ":";
+        os << kStageColors[static_cast<std::size_t>(s) % 8];
+        first = false;
+      }
+      os << "\"";
+    } else {
+      os << ", color=gray70";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string serialize(const Problem& p) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "sofe-instance v1\n";
+  os << "nodes " << p.network.node_count() << "\n";
+  os << "chain " << p.chain_length << "\n";
+  os << "edges " << p.network.edge_count() << "\n";
+  for (const auto& e : p.network.edges()) {
+    os << e.u << " " << e.v << " " << e.cost << "\n";
+  }
+  os << "vms";
+  for (NodeId v = 0; v < p.network.node_count(); ++v) {
+    if (p.is_vm[static_cast<std::size_t>(v)]) {
+      os << " " << v << ":" << p.node_cost[static_cast<std::size_t>(v)];
+    }
+  }
+  os << "\nsources";
+  for (NodeId s : p.sources) os << " " << s;
+  os << "\ndestinations";
+  for (NodeId d : p.destinations) os << " " << d;
+  os << "\n";
+  if (p.has_source_costs()) {
+    os << "source_costs";
+    for (NodeId s : p.sources) os << " " << s << ":" << p.source_cost(s);
+    os << "\n";
+  }
+  return os.str();
+}
+
+Problem deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  auto fail = [](const std::string& why) -> void {
+    throw std::runtime_error("sofe-instance parse error: " + why);
+  };
+  if (!std::getline(is, line) || line != "sofe-instance v1") fail("bad header");
+
+  Problem p;
+  std::string key;
+  int nodes = 0, edges = 0;
+  if (!(is >> key >> nodes) || key != "nodes" || nodes < 0) fail("nodes");
+  if (!(is >> key >> p.chain_length) || key != "chain" || p.chain_length < 0) fail("chain");
+  if (!(is >> key >> edges) || key != "edges" || edges < 0) fail("edges");
+  p.network = core::Graph(nodes);
+  p.node_cost.assign(static_cast<std::size_t>(nodes), 0.0);
+  p.is_vm.assign(static_cast<std::size_t>(nodes), 0);
+  for (int e = 0; e < edges; ++e) {
+    NodeId u = 0, v = 0;
+    Cost c = 0;
+    if (!(is >> u >> v >> c) || u < 0 || v < 0 || u >= nodes || v >= nodes) fail("edge");
+    p.network.add_edge(u, v, c);
+  }
+  if (!(is >> key) || key != "vms") fail("vms");
+  std::getline(is, line);
+  {
+    std::istringstream ls(line);
+    std::string tok;
+    while (ls >> tok) {
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) fail("vm token");
+      const NodeId v = std::stoi(tok.substr(0, colon));
+      if (v < 0 || v >= nodes) fail("vm id");
+      p.is_vm[static_cast<std::size_t>(v)] = 1;
+      p.node_cost[static_cast<std::size_t>(v)] = std::stod(tok.substr(colon + 1));
+    }
+  }
+  if (!(is >> key) || key != "sources") fail("sources");
+  std::getline(is, line);
+  {
+    std::istringstream ls(line);
+    NodeId s = 0;
+    while (ls >> s) p.sources.push_back(s);
+  }
+  if (!(is >> key) || key != "destinations") fail("destinations");
+  std::getline(is, line);
+  {
+    std::istringstream ls(line);
+    NodeId d = 0;
+    while (ls >> d) p.destinations.push_back(d);
+  }
+  if (is >> key) {
+    if (key != "source_costs") fail("trailing content");
+    p.source_setup_cost.assign(static_cast<std::size_t>(nodes), 0.0);
+    std::getline(is, line);
+    std::istringstream ls(line);
+    std::string tok;
+    while (ls >> tok) {
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) fail("source cost token");
+      const NodeId s = std::stoi(tok.substr(0, colon));
+      if (s < 0 || s >= nodes) fail("source cost id");
+      p.source_setup_cost[static_cast<std::size_t>(s)] = std::stod(tok.substr(colon + 1));
+    }
+  }
+  if (!p.well_formed()) fail("instance fails well-formedness checks");
+  return p;
+}
+
+void save_instance(const Problem& p, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << serialize(p);
+}
+
+Problem load_instance(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace sofe::io

@@ -1,0 +1,308 @@
+#include "sofe/ip/model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace sofe::ip {
+
+namespace {
+
+bool contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+IpModel::IpModel(const Problem& p) : p_(&p), chain_(p.chain_length) {
+  const int n = p.network.node_count();
+  const int dests = num_destinations();
+  const int arcs = num_arcs();
+  const int stages_gamma = chain_ + 2;  // fS, f1..f|C|, fD
+  const int stages_pi = chain_ + 1;     // fS, f1..f|C|
+
+  gamma_base_ = 0;
+  pi_base_ = gamma_base_ + dests * stages_gamma * n;
+  tau_base_ = pi_base_ + dests * stages_pi * arcs;
+  sigma_base_ = tau_base_ + stages_pi * arcs;
+  num_vars_ = sigma_base_ + chain_ * n;
+
+  dest_index_.assign(static_cast<std::size_t>(n), -1);
+  for (int d = 0; d < dests; ++d) {
+    dest_index_[static_cast<std::size_t>(p.destinations[static_cast<std::size_t>(d)])] = d;
+  }
+  build_constraints();
+}
+
+int IpModel::var_gamma(int d, int f, NodeId u) const {
+  assert(d >= 0 && d < num_destinations() && f >= 0 && f <= chain_ + 1);
+  return gamma_base_ + (d * (chain_ + 2) + f) * p_->network.node_count() + u;
+}
+
+int IpModel::var_pi(int d, int f, int arc) const {
+  assert(d >= 0 && d < num_destinations() && f >= 0 && f <= chain_);
+  return pi_base_ + (d * (chain_ + 1) + f) * num_arcs() + arc;
+}
+
+int IpModel::var_tau(int f, int arc) const {
+  assert(f >= 0 && f <= chain_);
+  return tau_base_ + f * num_arcs() + arc;
+}
+
+int IpModel::var_sigma(int f, NodeId u) const {
+  assert(f >= 1 && f <= chain_);
+  return sigma_base_ + (f - 1) * p_->network.node_count() + u;
+}
+
+void IpModel::build_constraints() {
+  const Problem& p = *p_;
+  const int n = p.network.node_count();
+  const int dests = num_destinations();
+
+  auto add = [&](LinearConstraint c) { constraints_.push_back(std::move(c)); };
+
+  for (int d = 0; d < dests; ++d) {
+    const NodeId dn = p.destinations[static_cast<std::size_t>(d)];
+    // (1) one source per destination, and only sources may play fS.
+    LinearConstraint c1;
+    c1.sense = LinearConstraint::Sense::kEq;
+    c1.rhs = 1.0;
+    c1.name = "src_choice_d" + std::to_string(d);
+    for (NodeId s : p.sources) c1.terms.emplace_back(var_gamma(d, 0, s), 1.0);
+    add(std::move(c1));
+    for (NodeId u = 0; u < n; ++u) {
+      if (!contains(p.sources, u)) {
+        LinearConstraint z;
+        z.sense = LinearConstraint::Sense::kEq;
+        z.rhs = 0.0;
+        z.name = "src_only_d" + std::to_string(d) + "_u" + std::to_string(u);
+        z.terms.emplace_back(var_gamma(d, 0, u), 1.0);
+        add(std::move(z));
+      }
+    }
+    // (2) one enabled VM per VNF, and only VMs may host VNFs.
+    for (int f = 1; f <= chain_; ++f) {
+      LinearConstraint c2;
+      c2.sense = LinearConstraint::Sense::kEq;
+      c2.rhs = 1.0;
+      c2.name = "vm_choice_d" + std::to_string(d) + "_f" + std::to_string(f);
+      for (NodeId u = 0; u < n; ++u) {
+        if (p.is_vm[static_cast<std::size_t>(u)]) {
+          c2.terms.emplace_back(var_gamma(d, f, u), 1.0);
+        } else {
+          LinearConstraint z;
+          z.sense = LinearConstraint::Sense::kEq;
+          z.rhs = 0.0;
+          z.name = "vm_only_d" + std::to_string(d) + "_f" + std::to_string(f) + "_u" +
+                   std::to_string(u);
+          z.terms.emplace_back(var_gamma(d, f, u), 1.0);
+          add(std::move(z));
+        }
+      }
+      add(std::move(c2));
+    }
+    // (3)-(4) destination role is pinned to d.
+    for (NodeId u = 0; u < n; ++u) {
+      LinearConstraint c34;
+      c34.sense = LinearConstraint::Sense::kEq;
+      c34.rhs = (u == dn) ? 1.0 : 0.0;
+      c34.name = "dest_role_d" + std::to_string(d) + "_u" + std::to_string(u);
+      c34.terms.emplace_back(var_gamma(d, chain_ + 1, u), 1.0);
+      add(std::move(c34));
+    }
+    // (5) γ ≤ σ.
+    for (int f = 1; f <= chain_; ++f) {
+      for (NodeId u = 0; u < n; ++u) {
+        LinearConstraint c5;
+        c5.sense = LinearConstraint::Sense::kLe;
+        c5.rhs = 0.0;
+        c5.name = "enable_d" + std::to_string(d) + "_f" + std::to_string(f) + "_u" +
+                  std::to_string(u);
+        c5.terms.emplace_back(var_gamma(d, f, u), 1.0);
+        c5.terms.emplace_back(var_sigma(f, u), -1.0);
+        add(std::move(c5));
+      }
+    }
+    // (7) walk-stitching flow inequality per stage and node.
+    for (int f = 0; f <= chain_; ++f) {
+      for (NodeId u = 0; u < n; ++u) {
+        LinearConstraint c7;
+        c7.sense = LinearConstraint::Sense::kGe;
+        c7.rhs = 0.0;
+        c7.name = "flow_d" + std::to_string(d) + "_f" + std::to_string(f) + "_u" +
+                  std::to_string(u);
+        for (const graph::Arc& a : p.network.neighbors(u)) {
+          const bool forward = p.network.edge(a.edge).u == u;
+          c7.terms.emplace_back(var_pi(d, f, arc_id(a.edge, forward)), 1.0);    // out
+          c7.terms.emplace_back(var_pi(d, f, arc_id(a.edge, !forward)), -1.0);  // in
+        }
+        c7.terms.emplace_back(var_gamma(d, f, u), -1.0);
+        c7.terms.emplace_back(var_gamma(d, f + 1, u), 1.0);
+        add(std::move(c7));
+      }
+    }
+    // (8) π ≤ τ.
+    for (int f = 0; f <= chain_; ++f) {
+      for (int arc = 0; arc < num_arcs(); ++arc) {
+        LinearConstraint c8;
+        c8.sense = LinearConstraint::Sense::kLe;
+        c8.rhs = 0.0;
+        c8.name = "layer_d" + std::to_string(d) + "_f" + std::to_string(f) + "_a" +
+                  std::to_string(arc);
+        c8.terms.emplace_back(var_pi(d, f, arc), 1.0);
+        c8.terms.emplace_back(var_tau(f, arc), -1.0);
+        add(std::move(c8));
+      }
+    }
+  }
+  // (6) at most one VNF per node, forest-wide.
+  for (NodeId u = 0; u < n; ++u) {
+    LinearConstraint c6;
+    c6.sense = LinearConstraint::Sense::kLe;
+    c6.rhs = 1.0;
+    c6.name = "one_vnf_u" + std::to_string(u);
+    for (int f = 1; f <= chain_; ++f) c6.terms.emplace_back(var_sigma(f, u), 1.0);
+    add(std::move(c6));
+  }
+}
+
+double IpModel::value(const Assignment& a, int var) const {
+  if (var >= sigma_base_) return a.sigma[static_cast<std::size_t>(var - sigma_base_)];
+  if (var >= tau_base_) return a.tau[static_cast<std::size_t>(var - tau_base_)];
+  if (var >= pi_base_) return a.pi[static_cast<std::size_t>(var - pi_base_)];
+  return a.gamma[static_cast<std::size_t>(var - gamma_base_)];
+}
+
+double IpModel::objective(const Assignment& a) const {
+  const Problem& p = *p_;
+  double obj = 0.0;
+  for (int f = 1; f <= chain_; ++f) {
+    for (NodeId u = 0; u < p.network.node_count(); ++u) {
+      obj += p.node_cost[static_cast<std::size_t>(u)] * value(a, var_sigma(f, u));
+    }
+  }
+  for (int f = 0; f <= chain_; ++f) {
+    for (graph::EdgeId e = 0; e < p.network.edge_count(); ++e) {
+      obj += p.network.edge(e).cost *
+             (value(a, var_tau(f, arc_id(e, true))) + value(a, var_tau(f, arc_id(e, false))));
+    }
+  }
+  return obj;
+}
+
+std::vector<std::string> IpModel::violated(const Assignment& a) const {
+  std::vector<std::string> out;
+  constexpr double kTol = 1e-9;
+  for (const LinearConstraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) lhs += coeff * value(a, var);
+    const bool ok = c.sense == LinearConstraint::Sense::kLe   ? lhs <= c.rhs + kTol
+                    : c.sense == LinearConstraint::Sense::kGe ? lhs >= c.rhs - kTol
+                                                              : std::abs(lhs - c.rhs) <= kTol;
+    if (!ok) out.push_back(c.name);
+  }
+  return out;
+}
+
+Assignment IpModel::from_forest(const ServiceForest& f) const {
+  const Problem& p = *p_;
+  const int n = p.network.node_count();
+  Assignment a;
+  a.gamma.assign(static_cast<std::size_t>(num_destinations() * (chain_ + 2) * n), 0);
+  a.pi.assign(static_cast<std::size_t>(num_destinations() * (chain_ + 1) * num_arcs()), 0);
+  a.tau.assign(static_cast<std::size_t>((chain_ + 1) * num_arcs()), 0);
+  a.sigma.assign(static_cast<std::size_t>(chain_ * n), 0);
+
+  auto set = [&](std::vector<std::uint8_t>& vec, int base, int var) {
+    vec[static_cast<std::size_t>(var - base)] = 1;
+  };
+
+  for (const ChainWalk& w : f.walks) {
+    const int d = dest_index_[static_cast<std::size_t>(w.destination)];
+    assert(d >= 0 && "walk serves a node that is not a destination");
+    set(a.gamma, gamma_base_, var_gamma(d, 0, w.source));
+    for (std::size_t j = 0; j < w.vnf_pos.size(); ++j) {
+      set(a.gamma, gamma_base_, var_gamma(d, static_cast<int>(j) + 1, w.nodes[w.vnf_pos[j]]));
+      set(a.sigma, sigma_base_, var_sigma(static_cast<int>(j) + 1, w.nodes[w.vnf_pos[j]]));
+    }
+    set(a.gamma, gamma_base_, var_gamma(d, chain_ + 1, w.destination));
+
+    int stage = 0;
+    std::size_t next_vnf = 0;
+    for (std::size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+      while (next_vnf < w.vnf_pos.size() && w.vnf_pos[next_vnf] <= i) {
+        ++stage;
+        ++next_vnf;
+      }
+      const graph::EdgeId e = p.network.find_edge(w.nodes[i], w.nodes[i + 1]);
+      assert(e != graph::kInvalidEdge);
+      const bool forward = p.network.edge(e).u == w.nodes[i];
+      set(a.pi, pi_base_, var_pi(d, stage, arc_id(e, forward)));
+      set(a.tau, tau_base_, var_tau(stage, arc_id(e, forward)));
+    }
+  }
+  return a;
+}
+
+std::string IpModel::export_lp() const {
+  const Problem& p = *p_;
+  std::ostringstream os;
+  auto vname = [&](int var) {
+    std::ostringstream v;
+    if (var >= sigma_base_) {
+      const int rel = var - sigma_base_;
+      v << "sigma_f" << rel / p.network.node_count() + 1 << "_u" << rel % p.network.node_count();
+    } else if (var >= tau_base_) {
+      const int rel = var - tau_base_;
+      v << "tau_f" << rel / num_arcs() << "_a" << rel % num_arcs();
+    } else if (var >= pi_base_) {
+      const int rel = var - pi_base_;
+      const int per_d = (chain_ + 1) * num_arcs();
+      v << "pi_d" << rel / per_d << "_f" << (rel % per_d) / num_arcs() << "_a"
+        << rel % num_arcs();
+    } else {
+      const int per_d = (chain_ + 2) * p.network.node_count();
+      v << "gamma_d" << var / per_d << "_f" << (var % per_d) / p.network.node_count() << "_u"
+        << var % p.network.node_count();
+    }
+    return v.str();
+  };
+
+  os << "\\ SOF integer program (Section III-A); generated by sofe::ip\n";
+  os << "Minimize\n obj:";
+  bool first = true;
+  for (int f = 1; f <= chain_; ++f) {
+    for (NodeId u = 0; u < p.network.node_count(); ++u) {
+      const double c = p.node_cost[static_cast<std::size_t>(u)];
+      if (c == 0.0) continue;
+      os << (first ? " " : " + ") << c << ' ' << vname(var_sigma(f, u));
+      first = false;
+    }
+  }
+  for (int f = 0; f <= chain_; ++f) {
+    for (graph::EdgeId e = 0; e < p.network.edge_count(); ++e) {
+      const double c = p.network.edge(e).cost;
+      if (c == 0.0) continue;
+      os << (first ? " " : " + ") << c << ' ' << vname(var_tau(f, arc_id(e, true)));
+      os << " + " << c << ' ' << vname(var_tau(f, arc_id(e, false)));
+      first = false;
+    }
+  }
+  os << "\nSubject To\n";
+  for (const LinearConstraint& c : constraints_) {
+    os << ' ' << c.name << ':';
+    for (const auto& [var, coeff] : c.terms) {
+      os << (coeff >= 0 ? " + " : " - ") << std::abs(coeff) << ' ' << vname(var);
+    }
+    os << (c.sense == LinearConstraint::Sense::kLe   ? " <= "
+           : c.sense == LinearConstraint::Sense::kGe ? " >= "
+                                                     : " = ")
+       << c.rhs << '\n';
+  }
+  os << "Binary\n";
+  for (int v = 0; v < num_vars_; ++v) os << ' ' << vname(v) << '\n';
+  os << "End\n";
+  return os.str();
+}
+
+}  // namespace sofe::ip

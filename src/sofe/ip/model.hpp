@@ -1,0 +1,95 @@
+#pragma once
+// The paper's Integer Program for SOF (Section III-A).
+//
+// Variables (all binary):
+//   γ[d][f][u]  node u is the enabled VM of stage f on d's walk; stage
+//               indices run 0 (= f_S, the source role), 1..|C| (VNFs),
+//               |C|+1 (= f_D, the destination role);
+//   π[d][f][a]  directed arc a lies on d's walk segment that connects the
+//               enabled VM of stage f to the enabled VM of stage f+1,
+//               f in 0..|C|;
+//   τ[f][a]     directed arc a belongs to the stage-f forest layer;
+//   σ[f][u]     node u is enabled for VNF f (1..|C|) forest-wide.
+//
+// The module builds the full constraint system (1)-(8), can evaluate and
+// check any 0/1 assignment, derive the assignment induced by a
+// ServiceForest, and export the model in CPLEX LP format for external
+// solvers (our own exact solver lives in sofe/exact).
+
+#include <string>
+#include <vector>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/core/problem.hpp"
+
+namespace sofe::ip {
+
+using core::ChainWalk;
+using core::Cost;
+using core::NodeId;
+using core::Problem;
+using core::ServiceForest;
+
+/// Dense 0/1 assignment of all model variables.
+struct Assignment {
+  // Indexing documented in IpModel; vectors sized by the model.
+  std::vector<std::uint8_t> gamma, pi, tau, sigma;
+};
+
+/// A single linear constraint  Σ coeff_i · x_i  (sense)  rhs  over a global
+/// variable numbering (see IpModel::var_*).
+struct LinearConstraint {
+  enum class Sense { kLe, kGe, kEq };
+  std::vector<std::pair<int, double>> terms;  // (variable id, coefficient)
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class IpModel {
+ public:
+  explicit IpModel(const Problem& p);
+
+  // --- variable numbering (global ids used by constraints and LP export) ---
+  int num_variables() const noexcept { return num_vars_; }
+  int var_gamma(int d, int f, NodeId u) const;  // f in [0, |C|+1]
+  int var_pi(int d, int f, int arc) const;      // f in [0, |C|], arc directed
+  int var_tau(int f, int arc) const;            // f in [0, |C|]
+  int var_sigma(int f, NodeId u) const;         // f in [1, |C|]
+
+  int num_destinations() const noexcept { return static_cast<int>(p_->destinations.size()); }
+  int num_arcs() const noexcept { return 2 * p_->network.edge_count(); }
+
+  /// Directed arc id for edge e traversed u->v (2e) or v->u (2e+1).
+  int arc_id(graph::EdgeId e, bool forward) const { return 2 * e + (forward ? 0 : 1); }
+
+  const std::vector<LinearConstraint>& constraints() const noexcept { return constraints_; }
+
+  /// Objective value of an assignment: Σ c(u)σ + Σ c(e)τ.
+  double objective(const Assignment& a) const;
+
+  /// Verifies every constraint; returns the names of violated ones.
+  std::vector<std::string> violated(const Assignment& a) const;
+
+  bool feasible(const Assignment& a) const { return violated(a).empty(); }
+
+  /// Builds the assignment induced by a service forest (γ from walk slots,
+  /// π from walk segments, σ/τ as the unions constraints (5)/(8) require).
+  Assignment from_forest(const ServiceForest& f) const;
+
+  /// CPLEX LP format text of the full model.
+  std::string export_lp() const;
+
+ private:
+  void build_constraints();
+  double value(const Assignment& a, int var) const;
+
+  const Problem* p_;
+  int chain_;           // |C|
+  int num_vars_ = 0;
+  int gamma_base_ = 0, pi_base_ = 0, tau_base_ = 0, sigma_base_ = 0;
+  std::vector<int> dest_index_;  // node -> destination ordinal (-1 otherwise)
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace sofe::ip

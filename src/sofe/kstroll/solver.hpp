@@ -1,0 +1,51 @@
+#pragma once
+// k-stroll solvers over a Procedure-1 metric instance.
+//
+// The k-stroll problem (Definition 2): find the cheapest walk from s to u
+// visiting at least k distinct nodes.  In a metric instance an optimal
+// solution is WLOG a simple path on exactly k nodes, so the solvers return an
+// ordered selection of k distinct instance indices starting at the source
+// and ending at the last VM.
+//
+// The paper invokes the 2-approximation of Chaudhuri et al. [29]; per
+// DESIGN.md §3 we field a cheapest-insertion construction refined by
+// 2-opt/or-opt/node-swap local search (the standard practical equivalent on
+// metric instances — k = |C|+1 ≤ 8 in every experiment), plus an exact
+// Held-Karp-style DP used as oracle and for small instances.
+
+#include <optional>
+#include <vector>
+
+#include "sofe/kstroll/instance.hpp"
+
+namespace sofe::kstroll {
+
+/// Result: `order` holds instance indices, order.front() == 0 (the source),
+/// order.back() == inst.last_index, all distinct, |order| == k.
+struct Stroll {
+  std::vector<std::size_t> order;
+  Cost cost = graph::kInfiniteCost;
+
+  bool feasible() const noexcept { return cost < graph::kInfiniteCost; }
+};
+
+enum class StrollAlgorithm {
+  kCheapestInsertion,  // greedy insertion + local search (default)
+  kExactDp,            // exact subset DP; instance size must be <= ~20
+};
+
+/// Solves for a stroll on exactly k distinct nodes (k >= 2).  Returns an
+/// infeasible Stroll when the instance has fewer than k nodes.
+Stroll solve_stroll(const StrollInstance& inst, int k,
+                    StrollAlgorithm algo = StrollAlgorithm::kCheapestInsertion);
+
+/// Exposed pieces for tests/ablation.
+Stroll cheapest_insertion(const StrollInstance& inst, int k);
+Stroll exact_dp(const StrollInstance& inst, int k);
+
+/// In-place local search on a fixed-endpoint path: 2-opt segment reversal,
+/// or-opt single-node relocation, and swap of a chosen interior node with an
+/// unchosen instance node.  Never increases cost.
+void improve_stroll(const StrollInstance& inst, Stroll& stroll);
+
+}  // namespace sofe::kstroll

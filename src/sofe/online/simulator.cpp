@@ -1,0 +1,101 @@
+#include "sofe/online/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sofe::online {
+
+using costmodel::LoadLedger;
+using graph::EdgeId;
+using graph::NodeId;
+
+OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
+                      const std::string& algo_name, const EmbedFn& embed) {
+  util::Rng rng(cfg.seed ^ 0x0427);
+
+  // Static skeleton: topology + VM nodes (vms_per_dc per DC), as in the
+  // paper's online setup.  VM i is hosted on DC host i / vms_per_dc.
+  Problem base;
+  base.network = topo.g;
+  base.chain_length = cfg.chain_length;
+  const NodeId n_access = topo.g.node_count();
+  base.node_cost.assign(static_cast<std::size_t>(n_access), 0.0);
+  base.is_vm.assign(static_cast<std::size_t>(n_access), 0);
+  std::vector<std::size_t> vm_host;  // per VM node (indexed from n_access)
+  for (std::size_t h = 0; h < topo.dc_nodes.size(); ++h) {
+    for (int i = 0; i < cfg.vms_per_dc; ++i) {
+      const NodeId vm = base.network.add_node();
+      base.network.add_edge(vm, topo.dc_nodes[h], 0.0);
+      base.node_cost.push_back(0.0);
+      base.is_vm.push_back(1);
+      vm_host.push_back(h);
+    }
+  }
+
+  LoadLedger ledger(static_cast<std::size_t>(topo.g.edge_count()), cfg.link_capacity,
+                    topo.dc_nodes.size(), cfg.host_capacity);
+
+  OnlineResult result;
+  result.algorithm = algo_name;
+  Cost accumulated = 0.0;
+
+  for (int r = 0; r < cfg.requests; ++r) {
+    // --- sample the request (identical across algorithms for a fixed seed).
+    // Sources and destinations are drawn independently (a node may play both
+    // roles — the paper's SoftLayer setting of up to 17 destinations plus 12
+    // sources does not fit 27 nodes otherwise).
+    const int n_dst = rng.uniform_int(cfg.min_destinations, cfg.max_destinations);
+    const int n_src = rng.uniform_int(cfg.min_sources, cfg.max_sources);
+    const auto dst_pick = rng.sample_without_replacement(
+        static_cast<std::size_t>(n_access),
+        static_cast<std::size_t>(std::min(n_dst, static_cast<int>(n_access))));
+    const auto src_pick = rng.sample_without_replacement(
+        static_cast<std::size_t>(n_access),
+        static_cast<std::size_t>(std::min(n_src, static_cast<int>(n_access))));
+
+    Problem p = base;
+    p.sources.assign(src_pick.begin(), src_pick.end());
+    p.destinations.assign(dst_pick.begin(), dst_pick.end());
+
+    // --- refresh prices from current loads.
+    for (EdgeId e = 0; e < topo.g.edge_count(); ++e) {
+      p.network.set_edge_cost(e, ledger.link_price(e, cfg.demand_mbps));
+    }
+    for (std::size_t i = 0; i < vm_host.size(); ++i) {
+      p.node_cost[static_cast<std::size_t>(n_access) + i] =
+          cfg.setup_scale * ledger.host_price(vm_host[i]);
+    }
+
+    // --- embed.
+    const ServiceForest forest = embed(p);
+    if (forest.empty()) {
+      ++result.infeasible_requests;
+      result.per_request_cost.push_back(0.0);
+      result.accumulative_cost.push_back(accumulated);
+      continue;
+    }
+    const Cost cost = core::total_cost(p, forest);
+    accumulated += cost;
+    result.per_request_cost.push_back(cost);
+    result.accumulative_cost.push_back(accumulated);
+
+    // --- charge the ledger: one stream copy per distinct (stage, link) use,
+    // one VNF slot per enabled VM.
+    for (const auto& se : forest.stage_edges()) {
+      const EdgeId e = p.network.find_edge(se.u, se.v);
+      if (e < topo.g.edge_count()) {  // physical links only (VM taps are free)
+        ledger.add_link_load(e, cfg.demand_mbps);
+      }
+    }
+    for (const auto& [vm, idx] : forest.enabled_vms()) {
+      (void)idx;
+      if (vm >= n_access) {
+        ledger.add_host_load(vm_host[static_cast<std::size_t>(vm - n_access)], 1.0);
+      }
+    }
+  }
+  result.overloaded_links = ledger.overloaded_links();
+  return result;
+}
+
+}  // namespace sofe::online

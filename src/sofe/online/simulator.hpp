@@ -1,0 +1,56 @@
+#pragma once
+// Online-deployment simulator (Section VIII-C, Fig. 12).
+//
+// Requests arrive sequentially; each asks to serve a random destination set
+// from a random candidate-source set through a |C|-stage chain.  Before each
+// arrival, link and VM prices are refreshed from the current loads via the
+// Fortz-Thorup function; the algorithm under test embeds a forest at those
+// prices; the embedding's bandwidth and VNF placements are then charged to
+// the ledger.  The simulator reports the accumulative cost series the paper
+// plots, plus congestion statistics.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/costmodel/load_ledger.hpp"
+#include "sofe/topology/topology.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::online {
+
+using core::Cost;
+using core::Problem;
+using core::ServiceForest;
+
+/// The algorithm under test: problem in, forest out.
+using EmbedFn = std::function<ServiceForest(const Problem&)>;
+
+struct OnlineConfig {
+  int requests = 30;
+  int min_destinations = 13, max_destinations = 17;  // SoftLayer defaults
+  int min_sources = 8, max_sources = 12;
+  int chain_length = 3;
+  int vms_per_dc = 5;          // "each data center has 5 VMs"
+  double demand_mbps = 5.0;    // per-destination-stream demand
+  double link_capacity = 100.0;
+  double host_capacity = 5.0;  // VNF slots per DC host
+  double setup_scale = 3.0;
+  std::uint64_t seed = 11;
+};
+
+struct OnlineResult {
+  std::string algorithm;
+  std::vector<Cost> accumulative_cost;  // after each arrival
+  std::vector<Cost> per_request_cost;
+  int infeasible_requests = 0;
+  std::size_t overloaded_links = 0;  // links beyond capacity at the end
+};
+
+/// Runs the request sequence against one algorithm.  The identical sequence
+/// is regenerated from cfg.seed for every algorithm, so series are paired.
+OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
+                      const std::string& algo_name, const EmbedFn& embed);
+
+}  // namespace sofe::online

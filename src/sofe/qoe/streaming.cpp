@@ -1,0 +1,145 @@
+#include "sofe/qoe/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sofe/costmodel/fortz_thorup.hpp"
+
+namespace sofe::qoe {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+StreamingConfig profile_ours() {
+  StreamingConfig cfg;
+  cfg.base_setup_s = 2.5;       // hardware OpenFlow rule installation + codec
+  cfg.startup_buffer_s = 2.5;
+  cfg.stall_overhead_s = 0.8;
+  cfg.seed = 3;
+  return cfg;
+}
+
+StreamingConfig profile_emulab() {
+  StreamingConfig cfg;
+  cfg.base_setup_s = 1.2;       // software switches start faster
+  cfg.startup_buffer_s = 2.0;
+  cfg.stall_overhead_s = 0.6;
+  cfg.seed = 4;
+  return cfg;
+}
+
+namespace {
+
+/// Shared core: one playback evaluation against a capacity lookup.
+StreamingResult evaluate_against(
+    const ServiceForest& f, const StreamingConfig& cfg,
+    const std::map<std::pair<NodeId, NodeId>, int>& copies,
+    const std::map<std::pair<NodeId, NodeId>, double>& capacity) {
+  StreamingResult out;
+  double startup_sum = 0.0, rebuffer_sum = 0.0, throughput_sum = 0.0;
+  int samples = 0, stalled = 0;
+  for (const core::ChainWalk& w : f.walks) {
+    double rate = 1e9;
+    for (std::size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+      const auto key = graph::Graph::edge_key(w.nodes[i], w.nodes[i + 1]);
+      const auto it = copies.find(key);
+      if (it == copies.end()) continue;
+      rate = std::min(rate, capacity.at(key) / it->second);
+    }
+    rate = std::min(rate, cfg.max_link_mbps);
+    const double startup = cfg.base_setup_s + cfg.startup_buffer_s * cfg.bitrate_mbps / rate;
+    double rebuffer = 0.0;
+    if (rate < cfg.bitrate_mbps) {
+      rebuffer = cfg.duration_s * (cfg.bitrate_mbps - rate) / rate;
+      rebuffer += std::ceil(rebuffer / 10.0) * cfg.stall_overhead_s;
+      ++stalled;
+    }
+    startup_sum += startup;
+    rebuffer_sum += rebuffer;
+    throughput_sum += rate;
+    ++samples;
+  }
+  if (samples > 0) {
+    out.avg_startup_latency_s = startup_sum / samples;
+    out.avg_rebuffering_s = rebuffer_sum / samples;
+    out.avg_throughput_mbps = throughput_sum / samples;
+    out.stall_fraction = static_cast<double>(stalled) / samples;
+  }
+  return out;
+}
+
+std::map<std::pair<NodeId, NodeId>, int> count_copies(const Problem& p, const ServiceForest& f,
+                                                      EdgeId physical) {
+  std::map<std::pair<NodeId, NodeId>, int> copies;
+  for (const auto& se : f.stage_edges()) {
+    const EdgeId e = p.network.find_edge(se.u, se.v);
+    if (e < physical) ++copies[{se.u, se.v}];
+  }
+  return copies;
+}
+
+}  // namespace
+
+std::vector<double> price_links_by_capacity(Problem& p, int physical_edges,
+                                            const StreamingConfig& cfg, util::Rng& rng) {
+  std::vector<double> capacity(static_cast<std::size_t>(physical_edges));
+  for (EdgeId e = 0; e < physical_edges; ++e) {
+    capacity[static_cast<std::size_t>(e)] = rng.uniform(cfg.min_link_mbps, cfg.max_link_mbps);
+    // Cost of pushing the stream across this link at its available capacity;
+    // a nearly-saturated link prices itself out (Section VII-B).
+    p.network.set_edge_cost(
+        e, costmodel::fortz_thorup(cfg.bitrate_mbps, capacity[static_cast<std::size_t>(e)]));
+  }
+  return capacity;
+}
+
+StreamingResult evaluate_streaming_fixed(const Problem& p, const ServiceForest& f,
+                                         const StreamingConfig& cfg,
+                                         const std::vector<double>& capacity_mbps) {
+  StreamingResult out;
+  if (f.empty()) return out;
+  const EdgeId physical = static_cast<EdgeId>(capacity_mbps.size());
+  const auto copies = count_copies(p, f, physical);
+  std::map<std::pair<NodeId, NodeId>, double> capacity;
+  for (const auto& [key, n] : copies) {
+    (void)n;
+    const EdgeId e = p.network.find_edge(key.first, key.second);
+    capacity[key] = capacity_mbps[static_cast<std::size_t>(e)];
+  }
+  return evaluate_against(f, cfg, copies, capacity);
+}
+
+StreamingResult evaluate_streaming(const Problem& p, const ServiceForest& f,
+                                   const StreamingConfig& cfg) {
+  StreamingResult out;
+  if (f.empty()) return out;
+  util::Rng rng(cfg.seed ^ 0x90e);
+  const EdgeId physical = cfg.physical_edges < 0
+                              ? p.network.edge_count()
+                              : static_cast<EdgeId>(cfg.physical_edges);
+  const auto copies = count_copies(p, f, physical);
+
+  double startup = 0.0, rebuffer = 0.0, throughput = 0.0, stalls = 0.0;
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    std::map<std::pair<NodeId, NodeId>, double> capacity;
+    for (const auto& [key, n] : copies) {
+      (void)n;
+      capacity[key] = rng.uniform(cfg.min_link_mbps, cfg.max_link_mbps);
+    }
+    const StreamingResult one = evaluate_against(f, cfg, copies, capacity);
+    startup += one.avg_startup_latency_s;
+    rebuffer += one.avg_rebuffering_s;
+    throughput += one.avg_throughput_mbps;
+    stalls += one.stall_fraction;
+  }
+  if (cfg.trials > 0) {
+    out.avg_startup_latency_s = startup / cfg.trials;
+    out.avg_rebuffering_s = rebuffer / cfg.trials;
+    out.avg_throughput_mbps = throughput / cfg.trials;
+    out.stall_fraction = stalls / cfg.trials;
+  }
+  return out;
+}
+
+}  // namespace sofe::qoe

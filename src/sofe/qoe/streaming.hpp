@@ -1,0 +1,68 @@
+#pragma once
+// Flow-level streaming QoE emulation (Table II substitute; see DESIGN.md §3).
+//
+// The paper streams a 137 s full-HD H.264 video at 8 Mb/s over the embedded
+// forest in a 14-node testbed whose links fluctuate between 4.5 and 9 Mb/s,
+// and measures startup latency and total re-buffering time with VLC.  We
+// reproduce the mechanism that differentiates the algorithms: the embedding
+// decides how many stream copies cross each link, the bottleneck share
+// determines each destination's sustainable download rate, and a playout
+// buffer model converts rates into startup latency and stall time.
+
+#include <string>
+#include <vector>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::qoe {
+
+using core::Cost;
+using core::Problem;
+using core::ServiceForest;
+
+struct StreamingConfig {
+  double bitrate_mbps = 8.0;     // H.264 full-HD test stream
+  double duration_s = 137.0;     // test video length
+  double min_link_mbps = 4.5;    // congested-testbed range
+  double max_link_mbps = 9.0;
+  double startup_buffer_s = 2.0;  // playout buffer filled before start
+  double base_setup_s = 1.0;      // signaling/codec init per profile
+  double stall_overhead_s = 0.5;  // per re-buffering event
+  int trials = 200;               // link-capacity resamples
+  std::uint64_t seed = 3;
+  int physical_edges = -1;  // edges [0, physical_edges) carry capacity
+                            // constraints; -1 = all edges (VM taps included)
+};
+
+/// Table II calibration profiles.
+StreamingConfig profile_ours();    // HP OpenFlow testbed ("Ours")
+StreamingConfig profile_emulab();  // Emulab
+
+struct StreamingResult {
+  double avg_startup_latency_s = 0.0;
+  double avg_rebuffering_s = 0.0;
+  double avg_throughput_mbps = 0.0;
+  double stall_fraction = 0.0;  // fraction of (trial, destination) pairs stalled
+};
+
+/// Evaluates the forest under the streaming model, resampling link
+/// capacities per trial.
+StreamingResult evaluate_streaming(const Problem& p, const ServiceForest& f,
+                                   const StreamingConfig& cfg);
+
+/// Evaluates against a FIXED per-physical-edge capacity vector (one trial).
+/// Used by the Table II harness, where the same capacities first price the
+/// embedding and then carry the stream.
+StreamingResult evaluate_streaming_fixed(const Problem& p, const ServiceForest& f,
+                                         const StreamingConfig& cfg,
+                                         const std::vector<double>& capacity_mbps);
+
+/// Congestion-aware pricing for the Table II harness: assigns every physical
+/// edge the Fortz-Thorup cost of carrying `bitrate` on its capacity, so the
+/// embedding "sees" the congestion the stream will meet.  Returns the
+/// sampled capacities (indexed by edge id) for evaluate_streaming_fixed.
+std::vector<double> price_links_by_capacity(Problem& p, int physical_edges,
+                                            const StreamingConfig& cfg, util::Rng& rng);
+
+}  // namespace sofe::qoe

@@ -1,0 +1,217 @@
+// Combinatorial Steiner-tree approximations: KMB, Mehlhorn, and
+// Takahashi-Matsuyama.  All three carry the classic 2(1 - 1/t) guarantee.
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/dsu.hpp"
+#include "sofe/graph/metric_closure.hpp"
+#include "sofe/graph/mst.hpp"
+#include "sofe/steiner/steiner.hpp"
+
+namespace sofe::steiner {
+
+namespace {
+
+std::vector<NodeId> dedupe(std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+/// Final cleanup shared by all approximations: take the union subgraph, find
+/// its MST, and prune non-terminal leaves.  Cost can only decrease.
+SteinerTree finalize(const Graph& g, const std::set<EdgeId>& union_edges,
+                     const std::vector<NodeId>& terminals) {
+  std::vector<bool> in_subgraph(static_cast<std::size_t>(g.node_count()), false);
+  for (EdgeId e : union_edges) {
+    in_subgraph[static_cast<std::size_t>(g.edge(e).u)] = true;
+    in_subgraph[static_cast<std::size_t>(g.edge(e).v)] = true;
+  }
+  for (NodeId t : terminals) in_subgraph[static_cast<std::size_t>(t)] = true;
+
+  // MST of the union subgraph: Kruskal restricted to union_edges.
+  std::vector<EdgeId> order(union_edges.begin(), union_edges.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](EdgeId a, EdgeId b) { return g.edge(a).cost < g.edge(b).cost; });
+  graph::DisjointSetUnion dsu(static_cast<std::size_t>(g.node_count()));
+  std::vector<EdgeId> mst;
+  for (EdgeId e : order) {
+    if (dsu.unite(static_cast<std::size_t>(g.edge(e).u), static_cast<std::size_t>(g.edge(e).v))) {
+      mst.push_back(e);
+    }
+  }
+
+  std::vector<bool> keep(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId t : terminals) keep[static_cast<std::size_t>(t)] = true;
+  SteinerTree result;
+  result.edges = graph::prune_non_terminal_leaves(g, std::move(mst), keep);
+  return result;
+}
+
+}  // namespace
+
+SteinerTree kmb(const Graph& g, const std::vector<NodeId>& terminals) {
+  const std::vector<NodeId> T = dedupe(terminals);
+  if (T.size() <= 1) return {};
+
+  // 1. Metric closure among terminals.
+  graph::MetricClosure closure(g, T);
+
+  // 2. MST of the terminal closure (Prim on the dense closure).
+  const std::size_t t = T.size();
+  std::vector<bool> in_tree(t, false);
+  std::vector<Cost> best(t, graph::kInfiniteCost);
+  std::vector<std::size_t> best_from(t, 0);
+  best[0] = 0.0;
+  std::set<EdgeId> union_edges;
+  for (std::size_t round = 0; round < t; ++round) {
+    std::size_t pick = t;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
+    }
+    assert(pick < t && best[pick] < graph::kInfiniteCost &&
+           "terminals must be connected in the host graph");
+    in_tree[pick] = true;
+    // 3. Expand the closure edge into its underlying shortest path.
+    if (round > 0) {
+      const auto path = closure.path(T[best_from[pick]], T[pick]);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        union_edges.insert(g.find_edge(path[i], path[i + 1]));
+      }
+    }
+    for (std::size_t i = 0; i < t; ++i) {
+      if (in_tree[i]) continue;
+      const Cost d = closure.distance(T[pick], T[i]);
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = pick;
+      }
+    }
+  }
+
+  // 4-5. MST of union subgraph + leaf pruning.
+  return finalize(g, union_edges, T);
+}
+
+SteinerTree mehlhorn(const Graph& g, const std::vector<NodeId>& terminals) {
+  const std::vector<NodeId> T = dedupe(terminals);
+  if (T.size() <= 1) return {};
+
+  // 1. One multi-source Dijkstra builds the Voronoi partition around
+  //    terminals: owner[v] = closest terminal, dist[v] = distance to it.
+  const auto vor = graph::multi_source_dijkstra(g, T);
+
+  // 2. For every graph edge (u, v) bridging two Voronoi cells s != t, the
+  //    implied terminal-to-terminal connection costs
+  //    dist[u] + c(u,v) + dist[v].  Keep the cheapest bridge per cell pair;
+  //    the MST over these bridges is Mehlhorn's approximation of KMB's
+  //    closure MST.
+  struct Bridge {
+    Cost cost = graph::kInfiniteCost;
+    EdgeId via = graph::kInvalidEdge;
+  };
+  std::map<std::pair<NodeId, NodeId>, Bridge> bridges;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& ed = g.edge(e);
+    const NodeId su = vor.owner[static_cast<std::size_t>(ed.u)];
+    const NodeId sv = vor.owner[static_cast<std::size_t>(ed.v)];
+    if (su == sv || su == graph::kInvalidNode || sv == graph::kInvalidNode) continue;
+    const Cost c = vor.dist[static_cast<std::size_t>(ed.u)] + ed.cost +
+                   vor.dist[static_cast<std::size_t>(ed.v)];
+    auto& b = bridges[Graph::edge_key(su, sv)];
+    if (c < b.cost) b = Bridge{c, e};
+  }
+
+  // 3. Kruskal over cell-pair bridges.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, Bridge>> items(bridges.begin(), bridges.end());
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& a, const auto& b) { return a.second.cost < b.second.cost; });
+  // Map terminal ids to dense indices for the DSU.
+  std::map<NodeId, std::size_t> tid;
+  for (std::size_t i = 0; i < T.size(); ++i) tid[T[i]] = i;
+  graph::DisjointSetUnion dsu(T.size());
+
+  std::set<EdgeId> union_edges;
+  auto add_voronoi_path = [&](NodeId from) {
+    // Walk up the Voronoi shortest-path tree to this node's owning terminal.
+    for (NodeId v = from; vor.parent[static_cast<std::size_t>(v)] != graph::kInvalidNode;
+         v = vor.parent[static_cast<std::size_t>(v)]) {
+      union_edges.insert(vor.parent_edge[static_cast<std::size_t>(v)]);
+    }
+  };
+  for (const auto& [cells, bridge] : items) {
+    if (dsu.unite(tid.at(cells.first), tid.at(cells.second))) {
+      const auto& ed = g.edge(bridge.via);
+      union_edges.insert(bridge.via);
+      add_voronoi_path(ed.u);
+      add_voronoi_path(ed.v);
+    }
+  }
+  assert(dsu.component_count() == 1 && "terminals must be connected in the host graph");
+
+  return finalize(g, union_edges, T);
+}
+
+SteinerTree takahashi_matsuyama(const Graph& g, const std::vector<NodeId>& terminals) {
+  const std::vector<NodeId> T = dedupe(terminals);
+  if (T.size() <= 1) return {};
+
+  // Grow the tree from T[0]; at every step connect the terminal nearest to
+  // the current tree via its shortest path.
+  std::vector<bool> in_tree(static_cast<std::size_t>(g.node_count()), false);
+  in_tree[static_cast<std::size_t>(T[0])] = true;
+  std::set<EdgeId> union_edges;
+  std::vector<NodeId> remaining(T.begin() + 1, T.end());
+
+  while (!remaining.empty()) {
+    // Multi-source Dijkstra from all current tree nodes.
+    std::vector<NodeId> tree_nodes;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) tree_nodes.push_back(v);
+    }
+    const auto sp = graph::multi_source_dijkstra(g, tree_nodes);
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < remaining.size(); ++i) {
+      if (sp.dist[static_cast<std::size_t>(remaining[i])] <
+          sp.dist[static_cast<std::size_t>(remaining[pick])]) {
+        pick = i;
+      }
+    }
+    assert(sp.dist[static_cast<std::size_t>(remaining[pick])] < graph::kInfiniteCost &&
+           "terminals must be connected in the host graph");
+    for (NodeId v = remaining[pick]; sp.parent[static_cast<std::size_t>(v)] != graph::kInvalidNode;
+         v = sp.parent[static_cast<std::size_t>(v)]) {
+      union_edges.insert(sp.parent_edge[static_cast<std::size_t>(v)]);
+      in_tree[static_cast<std::size_t>(v)] = true;
+    }
+    in_tree[static_cast<std::size_t>(remaining[pick])] = true;
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  return finalize(g, union_edges, T);
+}
+
+SteinerTree solve(const Graph& g, const std::vector<NodeId>& terminals, Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kKmb:
+      return kmb(g, terminals);
+    case Algorithm::kMehlhorn:
+      return mehlhorn(g, terminals);
+    case Algorithm::kTakahashiMatsuyama:
+      return takahashi_matsuyama(g, terminals);
+    case Algorithm::kDreyfusWagner:
+      return dreyfus_wagner(g, terminals);
+  }
+  return {};
+}
+
+bool is_valid_steiner_tree(const Graph& g, const SteinerTree& tree,
+                           const std::vector<NodeId>& terminals) {
+  return graph::is_forest(g, tree.edges) && graph::spans(g, tree.edges, dedupe(terminals));
+}
+
+}  // namespace sofe::steiner

@@ -1,0 +1,60 @@
+#pragma once
+// Steiner-tree substrate.
+//
+// The paper's bounds are parametric in ρST, "the best approximation ratio of
+// the Steiner Tree problem" ([20], ρST = 1.39).  The LP-based 1.39 algorithm
+// is not fieldable; like every practical system we substitute combinatorial
+// 2-approximations (see DESIGN.md §3).  Three interchangeable algorithms are
+// provided so the ablation bench can compare them, plus an exact
+// Dreyfus-Wagner DP for small terminal sets used as a test oracle and by the
+// exact SOF solver's undirected pieces.
+//
+// All solvers return a `SteinerTree`: a set of host-graph edge ids forming a
+// tree that spans the requested terminals (terminals must be connected in the
+// host graph).
+
+#include <vector>
+
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::steiner {
+
+using graph::Cost;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+
+struct SteinerTree {
+  std::vector<EdgeId> edges;
+
+  Cost cost(const Graph& g) const {
+    Cost sum = 0.0;
+    for (EdgeId e : edges) sum += g.edge(e).cost;
+    return sum;
+  }
+};
+
+enum class Algorithm {
+  kKmb,                 // Kou-Markowsky-Berman metric-closure MST, 2-approx
+  kMehlhorn,            // Mehlhorn's Voronoi variant of KMB, 2-approx, fastest
+  kTakahashiMatsuyama,  // incremental nearest-terminal path heuristic, 2-approx
+  kDreyfusWagner,       // exact DP, O(3^t * V + 2^t * Dijkstra); small t only
+};
+
+/// Solves the Steiner tree problem over `terminals` with the given algorithm.
+/// Requires: all terminals in one connected component.  A single terminal
+/// yields an empty tree.
+SteinerTree solve(const Graph& g, const std::vector<NodeId>& terminals,
+                  Algorithm algo = Algorithm::kMehlhorn);
+
+/// Individual entry points (exposed for tests and the ablation bench).
+SteinerTree kmb(const Graph& g, const std::vector<NodeId>& terminals);
+SteinerTree mehlhorn(const Graph& g, const std::vector<NodeId>& terminals);
+SteinerTree takahashi_matsuyama(const Graph& g, const std::vector<NodeId>& terminals);
+SteinerTree dreyfus_wagner(const Graph& g, const std::vector<NodeId>& terminals);
+
+/// True iff `tree` is a forest whose edges connect all `terminals`.
+bool is_valid_steiner_tree(const Graph& g, const SteinerTree& tree,
+                           const std::vector<NodeId>& terminals);
+
+}  // namespace sofe::steiner

@@ -1,0 +1,91 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component of the library (topology generators, workload
+// samplers, simulation drivers) takes an explicit Rng so that a run is fully
+// determined by its seed.  std::mt19937_64 is seeded through splitmix64 to
+// decorrelate nearby seeds.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sofe::util {
+
+/// splitmix64 step; used to turn small consecutive seeds into well-spread
+/// initial states.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic RNG wrapper with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    engine_.seed(splitmix64(s));
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform std::size_t in [0, n).  Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples k distinct values from [0, n).  Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k) {
+    // Floyd's algorithm: O(k) expected insertions, no O(n) shuffle.
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    std::vector<bool> seen(n, false);
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = index(j + 1);
+      if (!seen[t]) {
+        seen[t] = true;
+        out.push_back(t);
+      } else {
+        seen[j] = true;
+        out.push_back(j);
+      }
+    }
+    return out;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for fanning a seed out to
+  /// parallel experiment cells without correlating their streams.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sofe::util

@@ -1,0 +1,64 @@
+#pragma once
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// paper-style tables and figure series on stdout.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sofe::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends a row; missing trailing cells render empty.
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Formats a double with fixed precision (default one decimal, matching the
+  /// paper's tables).
+  static std::string num(double v, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&] {
+      os << '+';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << std::string(width[c] + 2, '-') << '+';
+      }
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+      os << '|';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << ' ' << std::left << std::setw(static_cast<int>(width[c])) << cell << " |";
+      }
+      os << '\n';
+    };
+    line();
+    emit(header_);
+    line();
+    for (const auto& row : rows_) emit(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sofe::util

@@ -1,0 +1,186 @@
+// VNF-conflict resolution tests (Procedure 4): the three attachment cases,
+// the no-new-resources invariant behind Theorem 3, and pool bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sofe/core/conflict.hpp"
+
+namespace sofe::core {
+namespace {
+
+/// A ring-with-chords network big enough for crossing chains.
+Problem arena() {
+  Problem p;
+  p.network = Graph(10);
+  for (NodeId v = 0; v < 10; ++v) p.network.add_edge(v, (v + 1) % 10, 1.0);
+  p.network.add_edge(0, 5, 1.0);
+  p.network.add_edge(2, 7, 1.0);
+  p.node_cost = {0, 0, 3, 4, 0, 0, 0, 5, 6, 0};
+  p.is_vm = {0, 0, 1, 1, 0, 0, 0, 1, 1, 0};
+  p.sources = {0, 5};
+  p.destinations = {4, 9};
+  p.chain_length = 2;
+  return p;
+}
+
+DeployedChain make_chain(NodeId source, std::vector<NodeId> nodes,
+                         std::vector<std::size_t> slots) {
+  DeployedChain c;
+  c.source = source;
+  c.nodes = std::move(nodes);
+  c.vnf_pos = std::move(slots);
+  c.last_vm = c.nodes.back();
+  return c;
+}
+
+TEST(ChainPool, NoConflictCommitsVerbatim) {
+  const Problem p = arena();
+  ChainPool pool(p);
+  EXPECT_TRUE(pool.add(0, make_chain(0, {0, 1, 2, 3}, {2, 3})));
+  ASSERT_NE(pool.find(0), nullptr);
+  EXPECT_EQ(pool.find(0)->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(pool.stats().total_resolved(), 0);
+  const auto enabled = pool.enabled();
+  EXPECT_EQ(enabled.at(2), 1);
+  EXPECT_EQ(enabled.at(3), 2);
+}
+
+TEST(ChainPool, AgreementIsNotAConflict) {
+  const Problem p = arena();
+  ChainPool pool(p);
+  EXPECT_TRUE(pool.add(0, make_chain(0, {0, 1, 2, 3}, {2, 3})));
+  // Second chain uses the same VMs with the same indices.
+  EXPECT_TRUE(pool.add(1, make_chain(5, {5, 4, 3, 2, 3}, {3, 4})));
+  EXPECT_EQ(pool.stats().total_resolved(), 0);
+}
+
+TEST(ChainPool, Case1AttachesNewWalkToExisting) {
+  const Problem p = arena();
+  ChainPool pool(p);
+  // W1: f1@2, f2@3.
+  ASSERT_TRUE(pool.add(0, make_chain(0, {0, 1, 2, 3}, {2, 3})));
+  // W: f1@3 (conflict at 3: j=1 <= i=2) — W must adopt W1's prefix.
+  ASSERT_TRUE(pool.add(1, make_chain(5, {5, 4, 3, 2, 7}, {2, 4})));
+  EXPECT_GE(pool.stats().case1, 1);
+  const DeployedChain* w = pool.find(1);
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->source, 0) << "the walk must now hang off W1's source";
+  EXPECT_EQ(w->last_vm, 7);
+  // No VM may carry two indices.
+  const auto enabled = pool.enabled();
+  std::set<NodeId> seen;
+  for (const auto& [id, chain] : pool.committed()) {
+    (void)id;
+    for (std::size_t j = 0; j < chain.vnf_pos.size(); ++j) {
+      const NodeId vm = chain.nodes[chain.vnf_pos[j]];
+      EXPECT_EQ(enabled.at(vm), static_cast<int>(j) + 1);
+    }
+  }
+}
+
+TEST(ChainPool, NoNewVmsEnabledByResolution) {
+  // The Theorem-3 invariant: resolution never enables a VM outside
+  // (existing enabled) ∪ (new chain's planned slots).
+  const Problem p = arena();
+  ChainPool pool(p);
+  ASSERT_TRUE(pool.add(0, make_chain(0, {0, 1, 2, 3}, {2, 3})));
+  const auto before = pool.enabled();
+  DeployedChain w = make_chain(5, {5, 4, 3, 2, 7}, {2, 4});
+  std::set<NodeId> allowed;
+  for (const auto& [vm, idx] : before) {
+    (void)idx;
+    allowed.insert(vm);
+  }
+  for (auto pos : w.vnf_pos) allowed.insert(w.nodes[pos]);
+  ASSERT_TRUE(pool.add(1, std::move(w)));
+  for (const auto& [vm, idx] : pool.enabled()) {
+    (void)idx;
+    EXPECT_TRUE(allowed.contains(vm)) << "VM " << vm << " enabled out of thin air";
+  }
+}
+
+TEST(ChainPool, Case3RewritesCommittedChain) {
+  const Problem p = arena();
+  ChainPool pool(p);
+  // W1: f1@7, f2@8  (committed first).
+  ASSERT_TRUE(pool.add(0, make_chain(5, {5, 6, 7, 8}, {2, 3})));
+  // W: f1@2, f2@7.  Conflict at 7: j=2 > i=1; no other shared VM, so case 3
+  // rewrites W1 to adopt W's prefix through 7.
+  ASSERT_TRUE(pool.add(1, make_chain(0, {0, 1, 2, 7}, {2, 3})));
+  EXPECT_GE(pool.stats().case3, 1);
+  const auto enabled = pool.enabled();
+  EXPECT_EQ(enabled.at(2), 1);
+  EXPECT_EQ(enabled.at(7), 2);
+  // W1 still ends at its own last VM 8 and is conflict-free.
+  const DeployedChain* w1 = pool.find(0);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_EQ(w1->last_vm, 8);
+  for (const auto& [id, chain] : pool.committed()) {
+    (void)id;
+    for (std::size_t j = 0; j < chain.vnf_pos.size(); ++j) {
+      EXPECT_EQ(enabled.at(chain.nodes[chain.vnf_pos[j]]), static_cast<int>(j) + 1);
+    }
+  }
+}
+
+TEST(ChainPool, WalksRemainStructurallySound) {
+  const Problem p = arena();
+  ChainPool pool(p);
+  ASSERT_TRUE(pool.add(0, make_chain(0, {0, 1, 2, 3}, {2, 3})));
+  ASSERT_TRUE(pool.add(1, make_chain(5, {5, 4, 3, 2, 7}, {2, 4})));
+  for (const auto& [id, chain] : pool.committed()) {
+    (void)id;
+    ASSERT_EQ(chain.vnf_pos.size(), 2u);
+    EXPECT_LT(chain.vnf_pos[0], chain.vnf_pos[1]);
+    EXPECT_EQ(chain.nodes.back(), chain.last_vm);
+    for (std::size_t i = 0; i + 1 < chain.nodes.size(); ++i) {
+      EXPECT_NE(p.network.find_edge(chain.nodes[i], chain.nodes[i + 1]), graph::kInvalidEdge);
+    }
+    for (auto pos : chain.vnf_pos) {
+      EXPECT_TRUE(p.is_vm[static_cast<std::size_t>(chain.nodes[pos])]);
+    }
+  }
+}
+
+TEST(SpliceChains, BasicPrefixTail) {
+  DeployedChain prefix = make_chain(0, {0, 1, 2, 3}, {2, 3});
+  // Keep prefix through position 2 (VM 2, f1): k = 1.
+  const auto out = splice_chains(prefix, 2, 1, {7, 8}, {0, 1}, 2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->nodes, (std::vector<NodeId>{0, 1, 2, 7, 8}));
+  ASSERT_EQ(out->vnf_pos.size(), 2u);
+  EXPECT_EQ(out->vnf_pos[0], 2u);
+  EXPECT_EQ(out->vnf_pos[1], 4u);  // f2 on the LAST eligible tail slot
+  EXPECT_EQ(out->last_vm, 8);
+}
+
+TEST(SpliceChains, SkipsTailSlotsAlreadyInPrefix) {
+  DeployedChain prefix = make_chain(0, {0, 2, 3}, {1, 2});  // f1@2, f2@3
+  // Tail slots at nodes {3, 8}: node 3 already runs f2 in the prefix; with
+  // k = 2 and |C| = 3 we need one slot — it must land on 8, not 3.
+  const auto out = splice_chains(prefix, 2, 2, {3, 8}, {0, 1}, 3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->vnf_pos.back(), 4u);
+  EXPECT_EQ(out->nodes[out->vnf_pos.back()], 8);
+}
+
+TEST(SpliceChains, FailsWhenTooFewEligibleSlots) {
+  DeployedChain prefix = make_chain(0, {0, 2, 3}, {1, 2});
+  // Need one more slot (|C|=3, k=2) but the only tail slot's VM (3) is
+  // already a prefix VM — no eligible slot remains.
+  const auto out = splice_chains(prefix, 2, 2, {3}, {0}, 3);
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(SpliceChains, EmptyTailKeepsPrefixEnd) {
+  DeployedChain prefix = make_chain(0, {0, 1, 2, 3}, {2, 3});
+  const auto out = splice_chains(prefix, 3, 2, {}, {}, 2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(out->last_vm, 3);
+}
+
+}  // namespace
+}  // namespace sofe::core

@@ -1,0 +1,92 @@
+// Fortz-Thorup cost-function tests (Fig. 7): segment values, continuity at
+// every breakpoint (including the paper's 14318/3 typo fix), homogeneity,
+// convexity, and the load ledger.
+
+#include <gtest/gtest.h>
+
+#include "sofe/costmodel/fortz_thorup.hpp"
+#include "sofe/costmodel/load_ledger.hpp"
+
+namespace sofe::costmodel {
+namespace {
+
+TEST(FortzThorup, SegmentValues) {
+  // p = 1 (Fig. 7's axis).
+  EXPECT_DOUBLE_EQ(fortz_thorup(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fortz_thorup(0.2, 1.0), 0.2);
+  EXPECT_NEAR(fortz_thorup(0.5, 1.0), 3 * 0.5 - 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fortz_thorup(0.8, 1.0), 10 * 0.8 - 16.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fortz_thorup(0.95, 1.0), 70 * 0.95 - 178.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fortz_thorup(1.05, 1.0), 500 * 1.05 - 1468.0 / 3.0, 1e-12);
+  EXPECT_NEAR(fortz_thorup(1.2, 1.0), 5000 * 1.2 - 16318.0 / 3.0, 1e-12);
+}
+
+TEST(FortzThorup, ContinuousAtEveryBreakpoint) {
+  constexpr double kEps = 1e-9;
+  for (double p : {1.0, 100.0, 7.5}) {
+    for (double b : {1.0 / 3.0, 2.0 / 3.0, 9.0 / 10.0, 1.0, 11.0 / 10.0}) {
+      const double lo = fortz_thorup(b * p - kEps * p, p);
+      const double hi = fortz_thorup(b * p + kEps * p, p);
+      EXPECT_NEAR(lo, hi, 1e-5 * p) << "discontinuity at u=" << b << " p=" << p
+                                    << " (the paper's 14318/3 typo would break this)";
+    }
+  }
+}
+
+TEST(FortzThorup, Homogeneous) {
+  for (double u : {0.1, 0.4, 0.7, 0.95, 1.05, 1.3}) {
+    EXPECT_NEAR(fortz_thorup(u * 100.0, 100.0), 100.0 * fortz_thorup(u, 1.0), 1e-9);
+  }
+}
+
+TEST(FortzThorup, ConvexIncreasing) {
+  double prev = -1.0;
+  double prev_slope = 0.0;
+  for (double l = 0.0; l <= 1.4; l += 0.01) {
+    const double c = fortz_thorup(l, 1.0);
+    EXPECT_GE(c, prev) << "cost must be nondecreasing";
+    prev = c;
+    const double s = fortz_thorup_slope(l, 1.0);
+    EXPECT_GE(s, prev_slope) << "slope must be nondecreasing (convexity)";
+    prev_slope = s;
+  }
+}
+
+TEST(FortzThorup, SlopeMatchesFiniteDifference) {
+  for (double l : {0.1, 0.5, 0.8, 0.95, 1.05, 1.2}) {
+    const double h = 1e-7;
+    const double fd = (fortz_thorup(l + h, 1.0) - fortz_thorup(l, 1.0)) / h;
+    EXPECT_NEAR(fd, fortz_thorup_slope(l, 1.0), 1e-3);
+  }
+}
+
+TEST(LoadLedger, TracksAndPrices) {
+  LoadLedger ledger(3, 100.0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(ledger.link_load(0), 0.0);
+  ledger.add_link_load(0, 30.0);
+  ledger.add_link_load(0, 10.0);
+  EXPECT_DOUBLE_EQ(ledger.link_load(0), 40.0);
+  EXPECT_DOUBLE_EQ(ledger.link_utilization(0), 0.4);
+  // Price of 5 more Mb/s at load 40/100: FT(45, 100).
+  EXPECT_NEAR(ledger.link_price(0, 5.0), fortz_thorup(45.0, 100.0), 1e-12);
+  ledger.add_host_load(1, 2.0);
+  EXPECT_NEAR(ledger.host_price(1), fortz_thorup(3.0, 5.0), 1e-12);
+  EXPECT_EQ(ledger.overloaded_links(), 0u);
+  ledger.add_link_load(2, 130.0);
+  EXPECT_EQ(ledger.overloaded_links(), 1u);
+}
+
+TEST(LoadLedger, PricesGrowWithLoad) {
+  LoadLedger ledger(1, 100.0, 1, 5.0);
+  double prev = ledger.link_price(0, 5.0);
+  for (int i = 0; i < 25; ++i) {
+    ledger.add_link_load(0, 5.0);
+    const double now = ledger.link_price(0, 5.0);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_GT(prev, 100.0) << "beyond capacity the price must explode";
+}
+
+}  // namespace
+}  // namespace sofe::costmodel

@@ -1,0 +1,160 @@
+// Multi-controller tests (Section VI): partition sanity, oracle exactness
+// (composed inter-domain distances == global Dijkstra), message accounting,
+// and distributed-vs-centralized SOFDA equivalence.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/dist/dist_sofda.hpp"
+#include "sofe/dist/oracle.hpp"
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/topology/topology.hpp"
+
+namespace sofe::dist {
+namespace {
+
+TEST(Partition, CoversAllNodesConnectedDomains) {
+  const auto topo = topology::softlayer();
+  for (int k : {1, 2, 3, 5}) {
+    const auto part = partition_bfs(topo.g, k);
+    EXPECT_EQ(part.num_domains, k);
+    std::size_t covered = 0;
+    for (int d = 0; d < k; ++d) covered += part.members[static_cast<std::size_t>(d)].size();
+    EXPECT_EQ(covered, static_cast<std::size_t>(topo.g.node_count()));
+    for (NodeId v = 0; v < topo.g.node_count(); ++v) {
+      EXPECT_GE(part.domain_of[static_cast<std::size_t>(v)], 0);
+      EXPECT_LT(part.domain_of[static_cast<std::size_t>(v)], k);
+    }
+  }
+}
+
+TEST(Partition, BordersTouchOtherDomains) {
+  const auto topo = topology::softlayer();
+  const auto part = partition_bfs(topo.g, 3);
+  for (int d = 0; d < 3; ++d) {
+    for (NodeId b : part.borders[static_cast<std::size_t>(d)]) {
+      bool crosses = false;
+      for (const auto& arc : topo.g.neighbors(b)) {
+        if (part.domain_of[static_cast<std::size_t>(arc.to)] != d) crosses = true;
+      }
+      EXPECT_TRUE(crosses) << "border node " << b << " has no cross-domain link";
+    }
+  }
+}
+
+class OracleExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(OracleExactness, ComposedDistancesEqualGlobalDijkstra) {
+  const int k = GetParam();
+  const auto topo = topology::softlayer();
+  MessageBus bus;
+  const auto part = partition_bfs(topo.g, k);
+  DistanceOracle oracle(topo.g, part, bus);
+  // Spot-check a grid of pairs against global Dijkstra.
+  for (NodeId x = 0; x < topo.g.node_count(); x += 3) {
+    const auto sp = graph::dijkstra(topo.g, x);
+    for (NodeId y = 0; y < topo.g.node_count(); y += 5) {
+      EXPECT_NEAR(oracle.distance(x, y), sp.distance(y), 1e-9)
+          << "pair (" << x << ", " << y << ") with " << k << " domains";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, OracleExactness, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Oracle, StitchedPathsAreRealAndTight) {
+  const auto topo = topology::cogent();
+  MessageBus bus;
+  const auto part = partition_bfs(topo.g, 4);
+  DistanceOracle oracle(topo.g, part, bus);
+  for (NodeId x = 0; x < topo.g.node_count(); x += 37) {
+    const auto sp = graph::dijkstra(topo.g, x);
+    for (NodeId y = 1; y < topo.g.node_count(); y += 41) {
+      const auto path = oracle.path(x, y);
+      ASSERT_EQ(path.front(), x);
+      ASSERT_EQ(path.back(), y);
+      graph::Cost c = 0.0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto e = topo.g.find_edge(path[i], path[i + 1]);
+        ASSERT_NE(e, graph::kInvalidEdge) << "stitched path uses a phantom link";
+        c += topo.g.edge(e).cost;
+      }
+      EXPECT_NEAR(c, sp.distance(y), 1e-9) << "stitched path is not shortest";
+    }
+  }
+}
+
+TEST(Oracle, MatrixExchangeCounted) {
+  const auto topo = topology::softlayer();
+  MessageBus bus;
+  const auto part = partition_bfs(topo.g, 3);
+  DistanceOracle oracle(topo.g, part, bus);
+  // 3 controllers broadcast to 2 peers each.
+  EXPECT_EQ(bus.messages(), 6u);
+  EXPECT_EQ(bus.rounds(), 1);
+  (void)oracle.distance(0, 26);
+  EXPECT_GE(bus.messages(), 6u);
+}
+
+TEST(DistributedSofda, MatchesCentralizedCertificate) {
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 8;
+  cfg.num_sources = 3;
+  cfg.num_destinations = 4;
+  cfg.chain_length = 2;
+  cfg.seed = 77;
+  const auto topo = topology::softlayer();
+  const auto p = topology::make_problem(topo, cfg);
+
+  core::SofdaStats central_stats;
+  const auto central = core::sofda(p, {}, &central_stats);
+  ASSERT_FALSE(central.empty());
+
+  for (int controllers : {2, 3, 4}) {
+    const auto dist_r = distributed_sofda(p, controllers);
+    ASSERT_FALSE(dist_r.forest.empty()) << controllers << " controllers";
+    EXPECT_TRUE(core::is_feasible(p, dist_r.forest))
+        << core::validate(p, dist_r.forest).summary();
+    // Cost-exact simulation: identical chain prices and auxiliary graph give
+    // the identical Steiner certificate.
+    EXPECT_NEAR(dist_r.stats.steiner_tree_cost, central_stats.steiner_tree_cost, 1e-6);
+    EXPECT_EQ(dist_r.stats.deployed_chains, central_stats.deployed_chains);
+    // Walk geometry may differ in shortest-path tie-breaks only; the total
+    // cost must stay in a tight band around the centralized result.
+    EXPECT_NEAR(core::total_cost(p, dist_r.forest), core::total_cost(p, central),
+                0.05 * core::total_cost(p, central) + 1e-6);
+    EXPECT_GT(dist_r.messages, 0u);
+    EXPECT_GE(dist_r.rounds, 4);
+  }
+}
+
+TEST(DistributedSofda, SingleControllerDegeneratesToCentralized) {
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 6;
+  cfg.num_sources = 2;
+  cfg.num_destinations = 3;
+  cfg.chain_length = 2;
+  cfg.seed = 13;
+  const auto p = topology::make_problem(topology::softlayer(), cfg);
+  const auto central = core::sofda(p);
+  const auto dist_r = distributed_sofda(p, 1);
+  ASSERT_FALSE(dist_r.forest.empty());
+  EXPECT_NEAR(core::total_cost(p, dist_r.forest), core::total_cost(p, central), 1e-6);
+}
+
+TEST(DistributedSofda, MoreControllersMoreMessages) {
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 6;
+  cfg.num_sources = 2;
+  cfg.num_destinations = 3;
+  cfg.chain_length = 2;
+  cfg.seed = 29;
+  const auto p = topology::make_problem(topology::softlayer(), cfg);
+  const auto r2 = distributed_sofda(p, 2);
+  const auto r5 = distributed_sofda(p, 5);
+  EXPECT_GT(r5.messages, r2.messages);
+}
+
+}  // namespace
+}  // namespace sofe::dist

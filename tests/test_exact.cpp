@@ -1,0 +1,217 @@
+// Exact-solver tests: hand-computed optima, feasibility of reconstructed
+// forests, the one-VNF-per-VM branch-and-bound, and lower-bound status
+// against every approximation.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/sofda_ss.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/exact/solver.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::exact {
+namespace {
+
+using core::ChainWalk;
+using core::Graph;
+
+TEST(Exact, LineInstanceHandOptimum) {
+  // 0 -1- 1(vm,c1) -1- 2(vm,c2) -1- 3: chain 2, D={3}.
+  // Only possible assignment: f1@1, f2@2; cost = 3 edges + 3 setup = 6.
+  Problem p;
+  p.network = Graph(4);
+  p.network.add_edge(0, 1, 1.0);
+  p.network.add_edge(1, 2, 1.0);
+  p.network.add_edge(2, 3, 1.0);
+  p.node_cost = {0, 1, 2, 0};
+  p.is_vm = {0, 1, 1, 0};
+  p.sources = {0};
+  p.destinations = {3};
+  p.chain_length = 2;
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.cost, 6.0);
+  EXPECT_TRUE(core::is_feasible(p, r.forest)) << core::validate(p, r.forest).summary();
+  EXPECT_NEAR(core::total_cost(p, r.forest), r.cost, 1e-9);
+}
+
+TEST(Exact, PicksCheaperOfTwoVms) {
+  // Two parallel VMs; the optimum must take the cheap one.
+  Problem p;
+  p.network = Graph(5);
+  p.network.add_edge(0, 1, 1.0);  // cheap VM branch
+  p.network.add_edge(1, 3, 1.0);
+  p.network.add_edge(0, 2, 1.0);  // expensive VM branch
+  p.network.add_edge(2, 3, 1.0);
+  p.network.add_edge(3, 4, 1.0);
+  p.node_cost = {0, 1, 10, 0, 0};
+  p.is_vm = {0, 1, 1, 0, 0};
+  p.sources = {0};
+  p.destinations = {4};
+  p.chain_length = 1;
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0 + 3.0);
+  EXPECT_EQ(r.forest.enabled_vms().begin()->first, 1);
+}
+
+TEST(Exact, SharedTreeBeatsTwoChains) {
+  // Two destinations behind one VM: optimal shares chain + VM.
+  Problem p;
+  p.network = Graph(5);
+  p.network.add_edge(0, 1, 2.0);
+  p.network.add_edge(1, 2, 1.0);
+  p.network.add_edge(2, 3, 1.0);
+  p.network.add_edge(2, 4, 1.0);
+  p.node_cost = {0, 3, 0, 0, 0};
+  p.is_vm = {0, 1, 0, 0, 0};
+  p.sources = {0};
+  p.destinations = {3, 4};
+  p.chain_length = 1;
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  // Chain 0-1 (2) + setup 3 + shared 1-2 (1) + leaves (1+1) = 8.
+  EXPECT_DOUBLE_EQ(r.cost, 8.0);
+  EXPECT_TRUE(core::is_feasible(p, r.forest));
+}
+
+TEST(Exact, BranchAndBoundEnforcesOneVnfPerVm) {
+  // One central cheap VM that the relaxation wants for BOTH stages; a far
+  // expensive VM exists.  The B&B must split the stages across two VMs.
+  Problem p;
+  p.network = Graph(5);
+  p.network.add_edge(0, 1, 1.0);   // source - cheapVM
+  p.network.add_edge(1, 2, 1.0);   // cheapVM - switch
+  p.network.add_edge(2, 3, 1.0);   // switch - dest
+  p.network.add_edge(1, 4, 0.5);   // cheapVM - secondVM (short hop)
+  p.network.add_edge(4, 2, 0.5);
+  p.node_cost = {0, 1, 0, 0, 5};
+  p.is_vm = {0, 1, 0, 0, 1};
+  p.sources = {0};
+  p.destinations = {3};
+  p.chain_length = 2;
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  const auto enabled = r.forest.enabled_vms();
+  ASSERT_EQ(enabled.size(), 2u);
+  EXPECT_NE(enabled.at(1), enabled.at(4)) << "both VMs must host distinct VNFs";
+  EXPECT_TRUE(core::is_feasible(p, r.forest)) << core::validate(p, r.forest).summary();
+  EXPECT_GT(r.bnb_nodes, 1) << "the relaxation alone cannot be conflict-free here";
+  // Optimum: 0-1(f1) 1-4(f2) 4-2 2-3 edges 1+0.5+0.5+1 = 3, setup 1+5 = 6.
+  EXPECT_DOUBLE_EQ(r.cost, 9.0);
+}
+
+TEST(Exact, MultiSourceUsesBothTrees) {
+  Problem p;
+  p.network = Graph(8);
+  p.network.add_edge(0, 1, 1.0);
+  p.network.add_edge(1, 2, 1.0);
+  p.network.add_edge(4, 5, 1.0);
+  p.network.add_edge(5, 6, 1.0);
+  p.network.add_edge(2, 6, 30.0);  // expensive bridge
+  p.network.add_edge(2, 3, 1.0);   // spare
+  p.network.add_edge(6, 7, 1.0);
+  p.node_cost = {0, 1, 0, 0, 0, 1, 0, 0};
+  p.is_vm = {0, 1, 0, 0, 0, 1, 0, 0};
+  p.sources = {0, 4};
+  p.destinations = {2, 6};
+  p.chain_length = 1;
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0 + 1.0 + 2.0 + 1.0);  // two independent trees
+  EXPECT_EQ(r.forest.used_sources().size(), 2u);
+}
+
+TEST(Exact, InfeasibleWhenNoVms) {
+  Problem p;
+  p.network = Graph(3);
+  p.network.add_edge(0, 1, 1.0);
+  p.network.add_edge(1, 2, 1.0);
+  p.node_cost = {0, 0, 0};
+  p.is_vm = {0, 0, 0};
+  p.sources = {0};
+  p.destinations = {2};
+  p.chain_length = 1;
+  const auto r = solve_exact(p);
+  EXPECT_FALSE(r.optimal);
+}
+
+TEST(Exact, RespectsDestinationLimit) {
+  Problem p;
+  p.network = Graph(20);
+  for (core::NodeId v = 0; v + 1 < 20; ++v) p.network.add_edge(v, v + 1, 1.0);
+  p.node_cost.assign(20, 0.0);
+  p.is_vm.assign(20, 0);
+  p.is_vm[1] = 1;
+  p.node_cost[1] = 1.0;
+  p.sources = {0};
+  p.chain_length = 1;
+  for (core::NodeId v = 2; v < 18; ++v) p.destinations.push_back(v);
+  ExactLimits limits;
+  limits.max_destinations = 8;
+  const auto r = solve_exact(p, limits);
+  EXPECT_FALSE(r.optimal) << "must refuse oversized instances, not hang";
+}
+
+TEST(Exact, ZeroChainIsSteinerForest) {
+  Problem p;
+  p.network = Graph(4);
+  p.network.add_edge(0, 1, 1.0);
+  p.network.add_edge(1, 2, 1.0);
+  p.network.add_edge(1, 3, 1.0);
+  p.node_cost = {0, 0, 0, 0};
+  p.is_vm = {0, 0, 0, 0};
+  p.sources = {0};
+  p.destinations = {2, 3};
+  p.chain_length = 0;
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_DOUBLE_EQ(r.cost, 3.0);
+}
+
+class ExactLowerBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactLowerBound, NeverAboveAnyHeuristic) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 29);
+  const int n = rng.uniform_int(8, 16);
+  Problem p;
+  p.network = Graph(n);
+  for (core::NodeId v = 1; v < n; ++v) {
+    p.network.add_edge(v, static_cast<core::NodeId>(rng.index(static_cast<std::size_t>(v))),
+                       rng.uniform(0.5, 3.0));
+  }
+  for (int e = 0; e < n; ++e) {
+    const auto u = static_cast<core::NodeId>(rng.index(static_cast<std::size_t>(n)));
+    const auto v = static_cast<core::NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (u != v && p.network.find_edge(u, v) == graph::kInvalidEdge) {
+      p.network.add_edge(u, v, rng.uniform(0.5, 3.0));
+    }
+  }
+  p.node_cost.assign(static_cast<std::size_t>(n), 0.0);
+  p.is_vm.assign(static_cast<std::size_t>(n), 0);
+  const auto picks = rng.sample_without_replacement(static_cast<std::size_t>(n), 7u);
+  for (int i = 0; i < 4; ++i) {
+    const auto v = static_cast<core::NodeId>(picks[static_cast<std::size_t>(i)]);
+    p.is_vm[static_cast<std::size_t>(v)] = 1;
+    p.node_cost[static_cast<std::size_t>(v)] = rng.uniform(0.5, 4.0);
+  }
+  p.sources = {static_cast<core::NodeId>(picks[4])};
+  p.destinations = {static_cast<core::NodeId>(picks[5]), static_cast<core::NodeId>(picks[6])};
+  p.chain_length = 2;
+
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.optimal);
+  EXPECT_TRUE(core::is_feasible(p, r.forest)) << core::validate(p, r.forest).summary();
+  EXPECT_NEAR(core::total_cost(p, r.forest), r.cost, 1e-9);
+
+  const auto fa = core::sofda(p);
+  if (!fa.empty()) EXPECT_GE(core::total_cost(p, fa) + 1e-9, r.cost);
+  const auto fs = core::sofda_ss(p, p.sources.front());
+  if (!fs.empty()) EXPECT_GE(core::total_cost(p, fs) + 1e-9, r.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactLowerBound, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace sofe::exact

@@ -1,0 +1,194 @@
+// ServiceForest cost-accounting tests: stage-edge deduplication (τ), shared
+// VM setup (σ), walk revisits, and the pass-through shortening post-step.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/forest.hpp"
+#include "sofe/core/validate.hpp"
+
+namespace sofe::core {
+namespace {
+
+/// Line 0-1-2-3-4-5 with unit edges; VMs at 2 and 3.
+Problem line6() {
+  Problem p;
+  p.network = Graph(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) p.network.add_edge(v, v + 1, 1.0);
+  p.node_cost = {0, 0, 5, 7, 0, 0};
+  p.is_vm = {0, 0, 1, 1, 0, 0};
+  p.sources = {0};
+  p.destinations = {5};
+  p.chain_length = 2;
+  return p;
+}
+
+ChainWalk straight_walk() {
+  ChainWalk w;
+  w.source = 0;
+  w.destination = 5;
+  w.nodes = {0, 1, 2, 3, 4, 5};
+  w.vnf_pos = {2, 3};
+  return w;
+}
+
+TEST(ForestCost, SingleWalk) {
+  Problem p = line6();
+  ServiceForest f;
+  f.walks.push_back(straight_walk());
+  EXPECT_DOUBLE_EQ(setup_cost(p, f), 12.0);
+  EXPECT_DOUBLE_EQ(connection_cost(p, f), 5.0);
+  EXPECT_DOUBLE_EQ(total_cost(p, f), 17.0);
+  EXPECT_TRUE(is_feasible(p, f));
+}
+
+TEST(ForestCost, SharedChainCountedOnce) {
+  Problem p = line6();
+  p.destinations = {4, 5};
+  ServiceForest f;
+  ChainWalk w1 = straight_walk();
+  w1.destination = 4;
+  w1.nodes = {0, 1, 2, 3, 4};
+  ChainWalk w2 = straight_walk();
+  f.walks = {w1, w2};
+  // Chain edges 0-1,1-2,2-3 and distribution 3-4 shared; 4-5 extra for w2.
+  EXPECT_DOUBLE_EQ(connection_cost(p, f), 5.0);
+  EXPECT_DOUBLE_EQ(setup_cost(p, f), 12.0);  // VMs shared
+  EXPECT_TRUE(is_feasible(p, f));
+}
+
+TEST(ForestCost, RevisitedEdgePaidPerStage) {
+  // Walk 0-1-2(f1)-1-2: edge 1-2 is used at stage 1 (to reach VM 2) and
+  // again at stages 1/2 after bouncing — the paper's Fig. 1(b) effect.
+  Problem p = line6();
+  p.destinations = {4};
+  p.chain_length = 1;
+  ServiceForest f;
+  ChainWalk w;
+  w.source = 0;
+  w.destination = 4;
+  w.nodes = {0, 1, 2, 1, 2, 3, 4};
+  w.vnf_pos = {2};  // f1 at first visit of node 2
+  f.walks.push_back(w);
+  // Stage 0: edges (0,1),(1,2).  Stage 1: (2,1),(1,2) dedup to {1,2} once,
+  // plus (2,3),(3,4).  (1,2) appears at stage 0 AND stage 1: paid twice.
+  EXPECT_DOUBLE_EQ(connection_cost(p, f), 2.0 + 3.0);
+  EXPECT_TRUE(is_feasible(p, f));
+}
+
+TEST(ForestCost, TwoTreesIndependent) {
+  Problem p = line6();
+  p.sources = {0, 5};
+  p.destinations = {1, 4};
+  p.chain_length = 1;
+  ServiceForest f;
+  ChainWalk a;
+  a.source = 0;
+  a.destination = 1;
+  a.nodes = {0, 1, 2, 1};
+  a.vnf_pos = {2};
+  ChainWalk b;
+  b.source = 5;
+  b.destination = 4;
+  b.nodes = {5, 4, 3, 4};
+  b.vnf_pos = {2};
+  f.walks = {a, b};
+  EXPECT_DOUBLE_EQ(setup_cost(p, f), 12.0);
+  EXPECT_EQ(f.used_sources().size(), 2u);
+  EXPECT_TRUE(is_feasible(p, f));
+}
+
+TEST(ForestCost, EnabledVmsAggregates) {
+  Problem p = line6();
+  ServiceForest f;
+  f.walks.push_back(straight_walk());
+  const auto enabled = f.enabled_vms();
+  ASSERT_EQ(enabled.size(), 2u);
+  EXPECT_EQ(enabled.at(2), 1);
+  EXPECT_EQ(enabled.at(3), 2);
+}
+
+TEST(ForestCost, SourceSetupCostsAppendixD) {
+  Problem p = line6();
+  p.source_setup_cost.assign(6, 0.0);
+  p.source_setup_cost[0] = 4.0;
+  ServiceForest f;
+  f.walks.push_back(straight_walk());
+  EXPECT_DOUBLE_EQ(setup_cost(p, f), 16.0);
+}
+
+TEST(Shorten, RemovesUselessDetour) {
+  // Walk detours 0-1-2(f1)-1-0-1-2-3... no; simpler: add a shortcut edge and
+  // a walk that ignores it on its pass-through segment.
+  Problem p = line6();
+  p.network.add_edge(2, 5, 1.0);  // shortcut from VM 2 straight to 5
+  p.chain_length = 1;
+  ServiceForest f;
+  ChainWalk w;
+  w.source = 0;
+  w.destination = 5;
+  w.nodes = {0, 1, 2, 3, 4, 5};
+  w.vnf_pos = {2};
+  f.walks.push_back(w);
+  const Cost before = total_cost(p, f);  // connection 5 + setup 5 = 10
+  shorten_pass_through(p, f);
+  EXPECT_LE(total_cost(p, f), before);
+  // After the splice: 0-1-2 (2) + shortcut 2-5 (1) + setup 5 = 8.
+  EXPECT_DOUBLE_EQ(total_cost(p, f), 8.0);
+  EXPECT_TRUE(is_feasible(p, f));
+}
+
+TEST(Shorten, KeepsSharedSegmentsWhenCheaper) {
+  // Two walks share an expensive-but-paid segment; shortening one onto a
+  // private shortcut would RAISE the forest cost, so it must not happen.
+  Problem p;
+  p.network = Graph(5);
+  p.network.add_edge(0, 1, 1.0);   // s -> vm
+  p.network.add_edge(1, 2, 4.0);   // shared distribution trunk
+  p.network.add_edge(2, 3, 0.5);   // to d1
+  p.network.add_edge(2, 4, 0.5);   // to d2
+  p.network.add_edge(1, 3, 4.2);   // private shortcut for d1 (longer than 0!)
+  p.node_cost = {0, 1, 0, 0, 0};
+  p.is_vm = {0, 1, 0, 0, 0};
+  p.sources = {0};
+  p.destinations = {3, 4};
+  p.chain_length = 1;
+
+  ServiceForest f;
+  ChainWalk w1;
+  w1.source = 0;
+  w1.destination = 3;
+  w1.nodes = {0, 1, 2, 3};
+  w1.vnf_pos = {1};
+  ChainWalk w2;
+  w2.source = 0;
+  w2.destination = 4;
+  w2.nodes = {0, 1, 2, 4};
+  w2.vnf_pos = {1};
+  f.walks = {w1, w2};
+  const Cost before = total_cost(p, f);  // 1 + 4 + 0.5 + 0.5 + setup 1 = 7
+  shorten_pass_through(p, f);
+  EXPECT_DOUBLE_EQ(total_cost(p, f), before) << "shortening must not raise forest cost";
+}
+
+TEST(Describe, MentionsCostAndVnfs) {
+  Problem p = line6();
+  ServiceForest f;
+  f.walks.push_back(straight_walk());
+  const std::string text = describe(p, f);
+  EXPECT_NE(text.find("total cost 17"), std::string::npos);
+  EXPECT_NE(text.find("[f1]"), std::string::npos);
+  EXPECT_NE(text.find("[f2]"), std::string::npos);
+}
+
+TEST(StageEdges, StagesComputedCorrectly) {
+  ChainWalk w = straight_walk();
+  EXPECT_EQ(w.stage_at(0), 0);
+  EXPECT_EQ(w.stage_at(1), 0);
+  EXPECT_EQ(w.stage_at(2), 1);
+  EXPECT_EQ(w.stage_at(3), 2);
+  EXPECT_EQ(w.vnf_node(1), 2);
+  EXPECT_EQ(w.vnf_node(2), 3);
+}
+
+}  // namespace
+}  // namespace sofe::core

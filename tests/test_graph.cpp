@@ -1,0 +1,225 @@
+// Unit and property tests for the graph substrate: Dijkstra vs oracles,
+// MST, DSU, metric closure, Voronoi partitions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/dsu.hpp"
+#include "sofe/graph/metric_closure.hpp"
+#include "sofe/graph/mst.hpp"
+#include "sofe/graph/oracles.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::graph {
+namespace {
+
+Graph diamond() {
+  // 0 -1- 1 -1- 3,  0 -3- 2 -1- 3,  1 -1- 2
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 3.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(1, 2, 1.0);
+  return g;
+}
+
+Graph random_connected(util::Rng& rng, int n, double extra_edge_prob) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.index(static_cast<std::size_t>(v))),
+               rng.uniform(0.5, 10.0));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(extra_edge_prob)) g.add_edge(u, v, rng.uniform(0.5, 10.0));
+    }
+  }
+  return g;
+}
+
+TEST(Graph, BasicAccessors) {
+  Graph g = diamond();
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.edge_count(), 5);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.edge(0).other(0), 1);
+  EXPECT_EQ(g.edge(0).other(1), 0);
+}
+
+TEST(Graph, FindEdgePicksCheapestParallel) {
+  Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  const EdgeId cheap = g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.find_edge(0, 1), cheap);
+  EXPECT_EQ(g.find_edge(1, 0), cheap);
+}
+
+TEST(Graph, EdgeKeyCanonical) {
+  EXPECT_EQ(Graph::edge_key(3, 1), (std::pair<NodeId, NodeId>{1, 3}));
+  EXPECT_EQ(Graph::edge_key(1, 3), (std::pair<NodeId, NodeId>{1, 3}));
+}
+
+TEST(Graph, SetEdgeCost) {
+  Graph g = diamond();
+  g.set_edge_cost(0, 7.5);
+  EXPECT_DOUBLE_EQ(g.edge(0).cost, 7.5);
+}
+
+TEST(Dijkstra, DiamondDistances) {
+  Graph g = diamond();
+  const auto t = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(t.distance(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.distance(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.distance(2), 2.0);  // via node 1, not the direct 3-edge
+  EXPECT_DOUBLE_EQ(t.distance(3), 2.0);
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  Graph g = diamond();
+  const auto t = dijkstra(g, 0);
+  const auto path = t.path_to(3);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 3);
+  // Path cost must equal the reported distance.
+  Cost c = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    c += g.edge(g.find_edge(path[i], path[i + 1])).cost;
+  }
+  EXPECT_DOUBLE_EQ(c, t.distance(3));
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const auto t = dijkstra(g, 0);
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_EQ(t.distance(2), kInfiniteCost);
+}
+
+class DijkstraRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraRandom, MatchesFloydWarshallAndBellmanFord) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = rng.uniform_int(5, 30);
+  Graph g = random_connected(rng, n, 0.15);
+  const auto fw = floyd_warshall(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto t = dijkstra(g, s);
+    const auto bf = bellman_ford(g, s);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_NEAR(t.distance(v), fw[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)],
+                  1e-9);
+      EXPECT_NEAR(t.distance(v), bf[static_cast<std::size_t>(v)], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraRandom, ::testing::Range(1, 13));
+
+TEST(MultiSourceDijkstra, OwnersAreNearestSources) {
+  util::Rng rng(99);
+  Graph g = random_connected(rng, 25, 0.1);
+  const std::vector<NodeId> sources{2, 11, 19};
+  const auto vor = multi_source_dijkstra(g, sources);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    Cost best = kInfiniteCost;
+    for (NodeId s : sources) best = std::min(best, dijkstra(g, s).distance(v));
+    EXPECT_NEAR(vor.dist[static_cast<std::size_t>(v)], best, 1e-9);
+    EXPECT_NE(vor.owner[static_cast<std::size_t>(v)], kInvalidNode);
+  }
+}
+
+TEST(MultiSourceDijkstra, DuplicateSeedsTolerated) {
+  Graph g = diamond();
+  const auto vor = multi_source_dijkstra(g, {0, 0, 3});
+  EXPECT_DOUBLE_EQ(vor.dist[1], 1.0);
+}
+
+TEST(Mst, DiamondCost) {
+  Graph g = diamond();
+  const auto mst = minimum_spanning_forest(g);
+  EXPECT_EQ(mst.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(mst.total_cost(g), 3.0);
+}
+
+class MstRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstRandom, MatchesPrimOnConnectedGraphs) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+  const int n = rng.uniform_int(4, 40);
+  Graph g = random_connected(rng, n, 0.2);
+  const auto kruskal = minimum_spanning_forest(g);
+  std::vector<bool> all(static_cast<std::size_t>(n), true);
+  const auto prim = prim_subgraph(g, all, 0);
+  EXPECT_EQ(kruskal.edges.size(), static_cast<std::size_t>(n - 1));
+  EXPECT_EQ(prim.edges.size(), static_cast<std::size_t>(n - 1));
+  EXPECT_NEAR(kruskal.total_cost(g), prim.total_cost(g), 1e-9);
+  EXPECT_TRUE(is_forest(g, kruskal.edges));
+  EXPECT_TRUE(is_forest(g, prim.edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstRandom, ::testing::Range(1, 13));
+
+TEST(Dsu, UniteAndFind) {
+  DisjointSetUnion dsu(6);
+  EXPECT_EQ(dsu.component_count(), 6u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));
+  EXPECT_TRUE(dsu.connected(0, 2));
+  EXPECT_FALSE(dsu.connected(0, 3));
+  EXPECT_EQ(dsu.component_count(), 4u);
+  EXPECT_EQ(dsu.component_size(2), 3u);
+}
+
+TEST(PruneLeaves, RemovesOnlyNonTerminals) {
+  // Path 0-1-2-3 with terminals {0, 2}: edge 2-3 should be pruned.
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1, 1.0);
+  const EdgeId e12 = g.add_edge(1, 2, 1.0);
+  const EdgeId e23 = g.add_edge(2, 3, 1.0);
+  std::vector<bool> keep(4, false);
+  keep[0] = keep[2] = true;
+  const auto pruned = prune_non_terminal_leaves(g, {e01, e12, e23}, keep);
+  EXPECT_EQ(pruned.size(), 2u);
+  EXPECT_TRUE(std::find(pruned.begin(), pruned.end(), e23) == pruned.end());
+}
+
+TEST(PruneLeaves, CascadingPrune) {
+  // Star with a two-hop dead branch: both its edges must go.
+  Graph g(5);
+  const EdgeId a = g.add_edge(0, 1, 1.0);
+  const EdgeId b = g.add_edge(1, 2, 1.0);   // 2 is a terminal
+  const EdgeId c = g.add_edge(1, 3, 1.0);   // dead branch 1-3-4
+  const EdgeId d = g.add_edge(3, 4, 1.0);
+  std::vector<bool> keep(5, false);
+  keep[0] = keep[2] = true;
+  const auto pruned = prune_non_terminal_leaves(g, {a, b, c, d}, keep);
+  EXPECT_EQ(pruned.size(), 2u);
+}
+
+TEST(MetricClosure, DistancesAndPaths) {
+  Graph g = diamond();
+  MetricClosure mc(g, {0, 3});
+  EXPECT_TRUE(mc.is_hub(0));
+  EXPECT_FALSE(mc.is_hub(1));
+  EXPECT_DOUBLE_EQ(mc.distance(0, 3), 2.0);
+  const auto p = mc.path(3, 0);
+  EXPECT_EQ(p.front(), 3);
+  EXPECT_EQ(p.back(), 0);
+}
+
+TEST(Connectivity, DetectsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(1, 2, 1.0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace sofe::graph

@@ -1,0 +1,93 @@
+// I/O tests: serialize/deserialize round trip, malformed-input rejection,
+// and DOT export structure.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/io/io.hpp"
+#include "sofe/topology/topology.hpp"
+
+namespace sofe::io {
+namespace {
+
+Problem sample() {
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 6;
+  cfg.num_sources = 3;
+  cfg.num_destinations = 4;
+  cfg.chain_length = 2;
+  cfg.seed = 44;
+  return topology::make_problem(topology::softlayer(), cfg);
+}
+
+TEST(Io, RoundTripPreservesEverything) {
+  const Problem p = sample();
+  const Problem q = deserialize(serialize(p));
+  ASSERT_EQ(q.network.node_count(), p.network.node_count());
+  ASSERT_EQ(q.network.edge_count(), p.network.edge_count());
+  for (graph::EdgeId e = 0; e < p.network.edge_count(); ++e) {
+    EXPECT_EQ(q.network.edge(e).u, p.network.edge(e).u);
+    EXPECT_EQ(q.network.edge(e).v, p.network.edge(e).v);
+    EXPECT_DOUBLE_EQ(q.network.edge(e).cost, p.network.edge(e).cost);
+  }
+  EXPECT_EQ(q.node_cost, p.node_cost);
+  EXPECT_EQ(q.is_vm, p.is_vm);
+  EXPECT_EQ(q.sources, p.sources);
+  EXPECT_EQ(q.destinations, p.destinations);
+  EXPECT_EQ(q.chain_length, p.chain_length);
+}
+
+TEST(Io, RoundTripWithSourceCosts) {
+  Problem p = sample();
+  p.source_setup_cost.assign(static_cast<std::size_t>(p.network.node_count()), 0.0);
+  for (auto s : p.sources) p.source_setup_cost[static_cast<std::size_t>(s)] = 2.5;
+  const Problem q = deserialize(serialize(p));
+  ASSERT_TRUE(q.has_source_costs());
+  for (auto s : p.sources) EXPECT_DOUBLE_EQ(q.source_cost(s), 2.5);
+}
+
+TEST(Io, RoundTripEquivalentSolverBehavior) {
+  const Problem p = sample();
+  const Problem q = deserialize(serialize(p));
+  EXPECT_DOUBLE_EQ(core::total_cost(p, core::sofda(p)), core::total_cost(q, core::sofda(q)));
+}
+
+TEST(Io, RejectsMalformedInput) {
+  EXPECT_THROW(deserialize(""), std::runtime_error);
+  EXPECT_THROW(deserialize("sofe-instance v2\n"), std::runtime_error);
+  EXPECT_THROW(deserialize("sofe-instance v1\nnodes -3\n"), std::runtime_error);
+  EXPECT_THROW(deserialize("sofe-instance v1\nnodes 2\nchain 1\nedges 1\n0 5 1.0\n"),
+               std::runtime_error);
+  // Well-formedness is enforced: a "switch" with nonzero cost cannot appear
+  // because only VMs carry costs in the format; missing sources fail.
+  EXPECT_THROW(deserialize("sofe-instance v1\nnodes 2\nchain 1\nedges 1\n0 1 1.0\n"
+                           "vms 1:2.0\nsources\ndestinations 0\n"),
+               std::runtime_error);
+}
+
+TEST(Io, SaveLoadFile) {
+  const Problem p = sample();
+  const std::string path = "/tmp/sofe_io_test_instance.txt";
+  save_instance(p, path);
+  const Problem q = load_instance(path);
+  EXPECT_EQ(q.sources, p.sources);
+  EXPECT_THROW(load_instance("/nonexistent/dir/x.txt"), std::runtime_error);
+}
+
+TEST(Io, DotContainsRolesAndStages) {
+  const Problem p = sample();
+  const auto f = core::sofda(p);
+  const std::string dot = to_dot(p, f);
+  EXPECT_NE(dot.find("graph sof {"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);   // sources
+  EXPECT_NE(dot.find("lightyellow"), std::string::npos); // destinations
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);   // enabled VMs
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos); // walk edges
+  EXPECT_NE(dot.find("f1"), std::string::npos);           // VNF label
+  // Bare export works too.
+  const std::string bare = to_dot(p);
+  EXPECT_EQ(bare.find("penwidth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sofe::io

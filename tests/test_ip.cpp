@@ -1,0 +1,189 @@
+// IP-model tests (Section III-A): variable numbering, constraint counts,
+// forest→assignment consistency (objective == forest cost on tree-like
+// solutions), violation detection, and LP export sanity.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/sofda_ss.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/ip/model.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::ip {
+namespace {
+
+Problem small_problem() {
+  Problem p;
+  p.network = core::Graph(5);
+  p.network.add_edge(0, 1, 1.0);
+  p.network.add_edge(1, 2, 2.0);
+  p.network.add_edge(2, 3, 1.0);
+  p.network.add_edge(3, 4, 1.0);
+  p.network.add_edge(1, 3, 1.5);
+  p.node_cost = {0, 3, 2, 0, 0};
+  p.is_vm = {0, 1, 1, 0, 0};
+  p.sources = {0};
+  p.destinations = {4};
+  p.chain_length = 2;
+  return p;
+}
+
+ServiceForest feasible_forest() {
+  ServiceForest f;
+  core::ChainWalk w;
+  w.source = 0;
+  w.destination = 4;
+  w.nodes = {0, 1, 2, 3, 4};
+  w.vnf_pos = {1, 2};
+  f.walks.push_back(w);
+  return f;
+}
+
+TEST(IpModel, VariableCounts) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  const int n = 5, arcs = 10, dests = 1, chain = 2;
+  const int expect = dests * (chain + 2) * n      // gamma
+                     + dests * (chain + 1) * arcs  // pi
+                     + (chain + 1) * arcs          // tau
+                     + chain * n;                  // sigma
+  EXPECT_EQ(model.num_variables(), expect);
+}
+
+TEST(IpModel, ForestAssignmentIsFeasible) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  const auto a = model.from_forest(feasible_forest());
+  const auto bad = model.violated(a);
+  EXPECT_TRUE(bad.empty()) << "violated: " << (bad.empty() ? "" : bad.front());
+}
+
+TEST(IpModel, ObjectiveEqualsForestCost) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  const auto f = feasible_forest();
+  const auto a = model.from_forest(f);
+  EXPECT_NEAR(model.objective(a), core::total_cost(p, f), 1e-9);
+}
+
+TEST(IpModel, DetectsMissingSource) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  auto a = model.from_forest(feasible_forest());
+  // Clear gamma for the source role.
+  a.gamma[static_cast<std::size_t>(model.var_gamma(0, 0, 0))] = 0;
+  const auto bad = model.violated(a);
+  EXPECT_FALSE(bad.empty());
+}
+
+TEST(IpModel, DetectsTwoVnfsOnOneVm) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  auto a = model.from_forest(feasible_forest());
+  // Force sigma for both stages on VM 1 (sigma storage starts at
+  // var_sigma(1, 0)).
+  const int sigma_base = model.var_sigma(1, 0);
+  a.sigma[static_cast<std::size_t>(model.var_sigma(1, 1) - sigma_base)] = 1;
+  a.sigma[static_cast<std::size_t>(model.var_sigma(2, 1) - sigma_base)] = 1;
+  bool found = false;
+  for (const auto& name : model.violated(a)) {
+    if (name.find("one_vnf") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IpModel, DetectsBrokenFlow) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  auto a = model.from_forest(feasible_forest());
+  // Remove one pi arc from the walk: constraint (7) must trip somewhere.
+  bool cleared = false;
+  for (std::size_t i = 0; i < a.pi.size() && !cleared; ++i) {
+    if (a.pi[i] != 0) {
+      a.pi[i] = 0;
+      cleared = true;
+    }
+  }
+  ASSERT_TRUE(cleared);
+  EXPECT_FALSE(model.violated(a).empty());
+}
+
+TEST(IpModel, SofdaOutputsSatisfyTheIp) {
+  util::Rng rng(5150);
+  for (int trial = 0; trial < 8; ++trial) {
+    Problem p;
+    const int n = rng.uniform_int(8, 14);
+    p.network = core::Graph(n);
+    for (core::NodeId v = 1; v < n; ++v) {
+      p.network.add_edge(v, static_cast<core::NodeId>(rng.index(static_cast<std::size_t>(v))),
+                         rng.uniform(0.5, 3.0));
+    }
+    for (int e = 0; e < n; ++e) {
+      const auto u = static_cast<core::NodeId>(rng.index(static_cast<std::size_t>(n)));
+      const auto v = static_cast<core::NodeId>(rng.index(static_cast<std::size_t>(n)));
+      if (u != v && p.network.find_edge(u, v) == graph::kInvalidEdge) {
+        p.network.add_edge(u, v, rng.uniform(0.5, 3.0));
+      }
+    }
+    p.node_cost.assign(static_cast<std::size_t>(n), 0.0);
+    p.is_vm.assign(static_cast<std::size_t>(n), 0);
+    const auto picks = rng.sample_without_replacement(static_cast<std::size_t>(n), 6u);
+    for (int i = 0; i < 3; ++i) {
+      const auto v = static_cast<core::NodeId>(picks[static_cast<std::size_t>(i)]);
+      p.is_vm[static_cast<std::size_t>(v)] = 1;
+      p.node_cost[static_cast<std::size_t>(v)] = rng.uniform(1.0, 4.0);
+    }
+    p.sources = {static_cast<core::NodeId>(picks[3]), static_cast<core::NodeId>(picks[4])};
+    p.destinations = {static_cast<core::NodeId>(picks[5])};
+    p.chain_length = 2;
+
+    const auto f = core::sofda(p);
+    if (f.empty()) continue;
+    ASSERT_TRUE(core::is_feasible(p, f));
+    const IpModel model(p);
+    const auto a = model.from_forest(f);
+    const auto bad = model.violated(a);
+    EXPECT_TRUE(bad.empty()) << "first violation: " << (bad.empty() ? "" : bad.front());
+    // τ is directed, forest accounting is undirected: objective can only
+    // exceed the forest cost (equal for tree-like solutions).
+    EXPECT_GE(model.objective(a) + 1e-9, core::total_cost(p, f));
+  }
+}
+
+TEST(IpModel, LpExportContainsSections) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  const std::string lp = model.export_lp();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  EXPECT_NE(lp.find("sigma_f1_u1"), std::string::npos);
+  EXPECT_NE(lp.find("flow_d0_f0_u0"), std::string::npos);
+}
+
+TEST(IpModel, ConstraintFamiliesPresent) {
+  const Problem p = small_problem();
+  const IpModel model(p);
+  int src = 0, vm = 0, dest = 0, enable = 0, one = 0, flow = 0, layer = 0;
+  for (const auto& c : model.constraints()) {
+    if (c.name.rfind("src_", 0) == 0) ++src;
+    if (c.name.rfind("vm_", 0) == 0) ++vm;
+    if (c.name.rfind("dest_role", 0) == 0) ++dest;
+    if (c.name.rfind("enable_", 0) == 0) ++enable;
+    if (c.name.rfind("one_vnf", 0) == 0) ++one;
+    if (c.name.rfind("flow_", 0) == 0) ++flow;
+    if (c.name.rfind("layer_", 0) == 0) ++layer;
+  }
+  EXPECT_GT(src, 0);
+  EXPECT_GT(vm, 0);
+  EXPECT_EQ(dest, 5);        // one per node for the single destination
+  EXPECT_EQ(enable, 2 * 5);  // per destination, stage, node
+  EXPECT_EQ(one, 5);
+  EXPECT_EQ(flow, 3 * 5);    // stages {fS, f1, f2} × nodes
+  EXPECT_EQ(layer, 3 * 10);  // stages × directed arcs
+}
+
+}  // namespace
+}  // namespace sofe::ip

@@ -1,0 +1,214 @@
+// k-stroll substrate tests: Procedure-1 construction (cost telescoping and
+// Lemma-1 triangle inequality), heuristic vs exact-DP quality, and the
+// Appendix-D source-cost variant.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sofe/kstroll/instance.hpp"
+#include "sofe/kstroll/solver.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::kstroll {
+namespace {
+
+struct Fixture {
+  Graph g;
+  std::vector<Cost> node_cost;
+  std::vector<NodeId> vms;
+  NodeId source;
+};
+
+/// Line network: s=0 - 1 - 2 - 3 - 4 with unit edges; VMs 1..4.
+Fixture line5() {
+  Fixture f{Graph(5), {0.0, 2.0, 4.0, 6.0, 8.0}, {1, 2, 3, 4}, 0};
+  for (NodeId v = 0; v + 1 < 5; ++v) f.g.add_edge(v, v + 1, 1.0);
+  return f;
+}
+
+Fixture random_fixture(std::uint64_t seed, int n, int vms) {
+  util::Rng rng(seed);
+  Fixture f{Graph(n), std::vector<Cost>(static_cast<std::size_t>(n), 0.0), {}, 0};
+  for (NodeId v = 1; v < n; ++v) {
+    f.g.add_edge(v, static_cast<NodeId>(rng.index(static_cast<std::size_t>(v))),
+                 rng.uniform(0.5, 5.0));
+  }
+  for (int extra = 0; extra < n; ++extra) {
+    const NodeId u = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    const NodeId v = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (u != v && f.g.find_edge(u, v) == graph::kInvalidEdge) {
+      f.g.add_edge(u, v, rng.uniform(0.5, 5.0));
+    }
+  }
+  const auto chosen = rng.sample_without_replacement(static_cast<std::size_t>(n - 1),
+                                                     static_cast<std::size_t>(vms));
+  for (auto c : chosen) {
+    const NodeId v = static_cast<NodeId>(c + 1);  // node 0 stays the source
+    f.vms.push_back(v);
+    f.node_cost[static_cast<std::size_t>(v)] = rng.uniform(1.0, 6.0);
+  }
+  return f;
+}
+
+graph::MetricClosure closure_for(const Fixture& f) {
+  std::vector<NodeId> hubs = f.vms;
+  hubs.push_back(f.source);
+  return graph::MetricClosure(f.g, hubs);
+}
+
+TEST(StrollInstance, EdgeCostSharingMainModel) {
+  Fixture f = line5();
+  const auto mc = closure_for(f);
+  const auto inst = build_stroll_instance(f.g, mc, 0, f.vms, /*u=*/4, f.node_cost);
+  ASSERT_EQ(inst.size(), 5u);
+  // nodes = [0, 1, 2, 3, 4]; edge (s=0, 1): d(0,1)=1 plus (c(u=4)+c(1))/2 = 5.
+  EXPECT_DOUBLE_EQ(inst.edge_cost(0, 1), 1.0 + (8.0 + 2.0) / 2.0);
+  // edge (1, 2): d=1 plus (c(1)+c(2))/2 = 3.
+  EXPECT_DOUBLE_EQ(inst.edge_cost(1, 2), 1.0 + (2.0 + 4.0) / 2.0);
+  // edge (s, u): d(0,4)=4 plus (c(4)+c(4))/2 = 8.
+  EXPECT_DOUBLE_EQ(inst.edge_cost(0, 4), 4.0 + 8.0);
+}
+
+TEST(StrollInstance, PathCostTelescopesToWalkCost) {
+  // §IV "first characteristic": the instance cost of a simple s→u path equals
+  // the setup cost of its interior+last VMs plus shortest-path connections.
+  Fixture f = line5();
+  const auto mc = closure_for(f);
+  const auto inst = build_stroll_instance(f.g, mc, 0, f.vms, 4, f.node_cost);
+  // Path 0 -> 2 -> 4 visits VMs 2 and 4.
+  const Cost path_cost = inst.edge_cost(0, 1 /*node 2? index*/);
+  (void)path_cost;
+  // Find indices of graph nodes 2 and 4.
+  auto idx = [&](NodeId v) {
+    for (std::size_t i = 0; i < inst.nodes.size(); ++i) {
+      if (inst.nodes[i] == v) return i;
+    }
+    return std::size_t{999};
+  };
+  const Cost c = inst.edge_cost(0, idx(2)) + inst.edge_cost(idx(2), idx(4));
+  // Setup: c(2)+c(4) = 12; connection: d(0,2)+d(2,4) = 4.
+  EXPECT_DOUBLE_EQ(c, 16.0);
+}
+
+class TriangleInequality : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleInequality, Lemma1HoldsOnRandomInstances) {
+  Fixture f = random_fixture(static_cast<std::uint64_t>(GetParam()) * 31 + 5, 18, 7);
+  const auto mc = closure_for(f);
+  for (NodeId u : f.vms) {
+    const auto inst = build_stroll_instance(f.g, mc, f.source, f.vms, u, f.node_cost);
+    const std::size_t n = inst.size();
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t c = 0; c < n; ++c) {
+          if (a == b || b == c || a == c) continue;
+          EXPECT_LE(inst.edge_cost(a, c), inst.edge_cost(a, b) + inst.edge_cost(b, c) + 1e-9)
+              << "triangle inequality violated (Lemma 1)";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleInequality, ::testing::Range(1, 9));
+
+TEST(StrollSolver, TrivialKTwo) {
+  Fixture f = line5();
+  const auto mc = closure_for(f);
+  const auto inst = build_stroll_instance(f.g, mc, 0, f.vms, 4, f.node_cost);
+  const auto s = solve_stroll(inst, 2);
+  ASSERT_TRUE(s.feasible());
+  EXPECT_EQ(s.order.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.cost, inst.edge_cost(0, inst.last_index));
+}
+
+TEST(StrollSolver, InfeasibleWhenTooFewNodes) {
+  Fixture f = line5();
+  const auto mc = closure_for(f);
+  const auto inst = build_stroll_instance(f.g, mc, 0, f.vms, 4, f.node_cost);
+  EXPECT_FALSE(solve_stroll(inst, 7).feasible());   // only 5 nodes exist
+  EXPECT_FALSE(exact_dp(inst, 7).feasible());
+}
+
+TEST(StrollSolver, LineNetworkOrderedVisit) {
+  // On a line with increasing VM costs, the cheapest 3-stroll 0→4 takes the
+  // cheapest intermediate VM (node 1).
+  Fixture f = line5();
+  const auto mc = closure_for(f);
+  const auto inst = build_stroll_instance(f.g, mc, 0, f.vms, 4, f.node_cost);
+  const auto s = exact_dp(inst, 3);
+  ASSERT_TRUE(s.feasible());
+  EXPECT_EQ(inst.nodes[s.order[1]], 1);
+}
+
+struct QualityCase {
+  int seed;
+  int nodes, vms, k;
+};
+
+class StrollQuality : public ::testing::TestWithParam<QualityCase> {};
+
+TEST_P(StrollQuality, HeuristicNearExactOnPaperScales) {
+  const auto [seed, n, m, k] = GetParam();
+  Fixture f = random_fixture(static_cast<std::uint64_t>(seed) * 977 + 13, n, m);
+  const auto mc = closure_for(f);
+  for (NodeId u : f.vms) {
+    const auto inst = build_stroll_instance(f.g, mc, f.source, f.vms, u, f.node_cost);
+    const auto heur = solve_stroll(inst, k, StrollAlgorithm::kCheapestInsertion);
+    const auto exact = solve_stroll(inst, k, StrollAlgorithm::kExactDp);
+    ASSERT_EQ(heur.feasible(), exact.feasible());
+    if (!exact.feasible()) continue;
+    // Structure checks.
+    EXPECT_EQ(heur.order.size(), static_cast<std::size_t>(k));
+    EXPECT_EQ(heur.order.front(), 0u);
+    EXPECT_EQ(heur.order.back(), inst.last_index);
+    std::set<std::size_t> distinct(heur.order.begin(), heur.order.end());
+    EXPECT_EQ(distinct.size(), heur.order.size());
+    // Quality: never better than exact; within 25% at the paper's k <= 8.
+    EXPECT_GE(heur.cost, exact.cost - 1e-9);
+    EXPECT_LE(heur.cost, 1.25 * exact.cost + 1e-9);
+    // Cost field consistent with the order.
+    EXPECT_NEAR(heur.cost, inst.path_cost(heur.order), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StrollQuality,
+    ::testing::Values(QualityCase{1, 12, 5, 3}, QualityCase{2, 14, 6, 4},
+                      QualityCase{3, 16, 7, 5}, QualityCase{4, 18, 8, 6},
+                      QualityCase{5, 20, 9, 7}, QualityCase{6, 15, 6, 4},
+                      QualityCase{7, 22, 10, 8}, QualityCase{8, 13, 5, 4},
+                      QualityCase{9, 17, 8, 5}, QualityCase{10, 19, 9, 6}));
+
+TEST(StrollInstance, AppendixDSourceCostTelescopes) {
+  Fixture f = line5();
+  const auto mc = closure_for(f);
+  const Cost cs = 10.0;
+  const auto inst = build_stroll_instance(f.g, mc, 0, f.vms, 4, f.node_cost, cs);
+  auto idx = [&](NodeId v) {
+    for (std::size_t i = 0; i < inst.nodes.size(); ++i) {
+      if (inst.nodes[i] == v) return i;
+    }
+    return std::size_t{999};
+  };
+  // Walk 0 -> 2 -> 4: cost must be c(s) + c(2) + c(4) + d(0,2) + d(2,4) = 26.
+  const Cost c = inst.edge_cost(0, idx(2)) + inst.edge_cost(idx(2), idx(4));
+  EXPECT_DOUBLE_EQ(c, cs + 4.0 + 8.0 + 2.0 + 2.0);
+  // Direct edge (s, u) carries the full c(s) + c(u).
+  EXPECT_DOUBLE_EQ(inst.edge_cost(0, idx(4)), 4.0 + cs + 8.0);
+}
+
+TEST(StrollSolver, ImproveNeverWorsens) {
+  Fixture f = random_fixture(4242, 20, 8);
+  const auto mc = closure_for(f);
+  const auto inst = build_stroll_instance(f.g, mc, f.source, f.vms, f.vms.back(), f.node_cost);
+  auto s = cheapest_insertion(inst, 5);
+  ASSERT_TRUE(s.feasible());
+  const Cost before = s.cost;
+  improve_stroll(inst, s);
+  EXPECT_LE(s.cost, before + 1e-9);
+}
+
+}  // namespace
+}  // namespace sofe::kstroll

@@ -1,0 +1,121 @@
+// Online-deployment simulator tests (Section VIII-C): accumulative-cost
+// bookkeeping, load charging, price growth under congestion, and paired
+// request sequences across algorithms.
+
+#include <gtest/gtest.h>
+
+#include "sofe/baselines/baselines.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/online/simulator.hpp"
+
+namespace sofe::online {
+namespace {
+
+OnlineConfig small_config() {
+  OnlineConfig cfg;
+  cfg.requests = 8;
+  cfg.min_destinations = 2;
+  cfg.max_destinations = 4;
+  cfg.min_sources = 2;
+  cfg.max_sources = 3;
+  cfg.chain_length = 2;
+  cfg.vms_per_dc = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+EmbedFn sofda_fn() {
+  return [](const Problem& p) { return core::sofda(p); };
+}
+
+TEST(Online, AccumulativeCostMonotone) {
+  const auto topo = topology::softlayer();
+  const auto r = simulate(topo, small_config(), "SOFDA", sofda_fn());
+  ASSERT_EQ(r.accumulative_cost.size(), 8u);
+  for (std::size_t i = 1; i < r.accumulative_cost.size(); ++i) {
+    EXPECT_GE(r.accumulative_cost[i], r.accumulative_cost[i - 1]);
+  }
+  EXPECT_EQ(r.infeasible_requests, 0);
+  EXPECT_EQ(r.algorithm, "SOFDA");
+}
+
+TEST(Online, PerRequestSumsToAccumulative) {
+  const auto topo = topology::softlayer();
+  const auto r = simulate(topo, small_config(), "SOFDA", sofda_fn());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < r.per_request_cost.size(); ++i) {
+    sum += r.per_request_cost[i];
+    EXPECT_NEAR(sum, r.accumulative_cost[i], 1e-9);
+  }
+}
+
+TEST(Online, EmbeddingsAreValidatedPerRequest) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  int checked = 0;
+  const auto fn = [&checked](const Problem& p) {
+    auto f = core::sofda(p);
+    if (!f.empty()) {
+      EXPECT_TRUE(core::is_feasible(p, f)) << core::validate(p, f).summary();
+      ++checked;
+    }
+    return f;
+  };
+  simulate(topo, cfg, "checked", fn);
+  EXPECT_EQ(checked, cfg.requests);
+}
+
+TEST(Online, PricesRiseWithLoad) {
+  // With many requests the same cheap links get loaded, so the marginal
+  // request cost trends upward (Fortz-Thorup convexity).
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 24;
+  const auto r = simulate(topo, cfg, "SOFDA", sofda_fn());
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 8; ++i) early += r.per_request_cost[static_cast<std::size_t>(i)];
+  for (int i = 16; i < 24; ++i) late += r.per_request_cost[static_cast<std::size_t>(i)];
+  EXPECT_GT(late, early) << "costs should grow as the network loads up";
+}
+
+TEST(Online, SameSeedSameRequestSequence) {
+  const auto topo = topology::softlayer();
+  const auto cfg = small_config();
+  // Two algorithms see identical request workloads: with an identical
+  // embedder the whole series must match.
+  const auto a = simulate(topo, cfg, "A", sofda_fn());
+  const auto b = simulate(topo, cfg, "B", sofda_fn());
+  ASSERT_EQ(a.accumulative_cost.size(), b.accumulative_cost.size());
+  for (std::size_t i = 0; i < a.accumulative_cost.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.accumulative_cost[i], b.accumulative_cost[i]);
+  }
+}
+
+TEST(Online, SofdaAccumulatesLessThanBaselines) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 12;
+  const auto sofda_r = simulate(topo, cfg, "SOFDA", sofda_fn());
+  const auto est_r = simulate(topo, cfg, "eST", [](const Problem& p) {
+    return baselines::run(p, baselines::Kind::kEst);
+  });
+  const auto st_r = simulate(topo, cfg, "ST", [](const Problem& p) {
+    return baselines::run(p, baselines::Kind::kSt);
+  });
+  // Fig. 12 shape: SOFDA's accumulative cost stays below the baselines.
+  EXPECT_LT(sofda_r.accumulative_cost.back(), est_r.accumulative_cost.back());
+  EXPECT_LT(sofda_r.accumulative_cost.back(), st_r.accumulative_cost.back());
+}
+
+TEST(Online, InfeasibleEmbedderCountsAndContinues) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 3;
+  const auto r = simulate(topo, cfg, "null", [](const Problem&) { return ServiceForest{}; });
+  EXPECT_EQ(r.infeasible_requests, 3);
+  EXPECT_DOUBLE_EQ(r.accumulative_cost.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace sofe::online

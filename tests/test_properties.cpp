@@ -1,0 +1,180 @@
+// Cross-cutting property tests (DESIGN.md §6), parameterized over seeds and
+// instance shapes.  These are the invariants the paper's proofs rest on:
+//   * every algorithm's output passes the IP-mirror validator;
+//   * the exact solver lower-bounds everything;
+//   * SOFDA stays within 3ρST of OPT, SOFDA-SS within (2+ρST) — ρST = 2;
+//   * costs respond monotonically to instance knobs (more VMs / sources
+//     never hurt much; longer chains and more destinations cost more);
+//   * the Ĝ Steiner certificate bounds SOFDA's forest cost from above.
+
+#include <gtest/gtest.h>
+
+#include "sofe/baselines/baselines.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/sofda_ss.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/exact/solver.hpp"
+#include "sofe/ip/model.hpp"
+#include "sofe/topology/topology.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe {
+namespace {
+
+using core::Problem;
+using core::ServiceForest;
+using core::total_cost;
+
+Problem sampled(std::uint64_t seed, int vms, int srcs, int dests, int chain) {
+  topology::ProblemConfig cfg;
+  cfg.num_vms = vms;
+  cfg.num_sources = srcs;
+  cfg.num_destinations = dests;
+  cfg.chain_length = chain;
+  cfg.seed = seed;
+  return topology::make_problem(topology::softlayer(), cfg);
+}
+
+struct Shape {
+  int vms, srcs, dests, chain;
+};
+
+class EveryAlgorithmFeasible : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EveryAlgorithmFeasible, OutputsPassTheValidator) {
+  const auto [seed, shape_idx] = GetParam();
+  static const Shape kShapes[] = {
+      {5, 2, 2, 1}, {10, 4, 4, 2}, {15, 6, 6, 3}, {20, 8, 8, 4}, {25, 14, 6, 3},
+  };
+  const Shape s = kShapes[shape_idx];
+  const Problem p = sampled(static_cast<std::uint64_t>(seed) * 37 + 11, s.vms, s.srcs, s.dests,
+                            s.chain);
+
+  struct Algo {
+    const char* name;
+    ServiceForest forest;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"SOFDA", core::sofda(p)});
+  algos.push_back({"SOFDA-SS", core::sofda_ss(p, p.sources.front())});
+  algos.push_back({"eST", baselines::run(p, baselines::Kind::kEst)});
+  algos.push_back({"eNEMP", baselines::run(p, baselines::Kind::kEnemp)});
+  algos.push_back({"ST", baselines::run(p, baselines::Kind::kSt)});
+  for (const auto& a : algos) {
+    if (a.forest.empty()) continue;
+    const auto r = core::validate(p, a.forest);
+    EXPECT_TRUE(r.ok) << a.name << ": " << r.summary();
+    // IP consistency: the induced assignment satisfies every constraint.
+    const ip::IpModel model(p);
+    const auto assignment = model.from_forest(a.forest);
+    const auto bad = model.violated(assignment);
+    EXPECT_TRUE(bad.empty()) << a.name << " violates " << (bad.empty() ? "" : bad.front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsTimesShapes, EveryAlgorithmFeasible,
+                         ::testing::Combine(::testing::Range(1, 7), ::testing::Range(0, 5)));
+
+class ApproximationEnvelope : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApproximationEnvelope, TheoremBoundsHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Problem p = sampled(seed * 797 + 3, 8, 3, 4, 2);
+  const auto exact = exact::solve_exact(p);
+  if (!exact.optimal) GTEST_SKIP();
+
+  core::SofdaStats stats;
+  const auto f = core::sofda(p, {}, &stats);
+  ASSERT_FALSE(f.empty());
+  const double c = total_cost(p, f);
+  EXPECT_GE(c + 1e-9, exact.cost);
+  EXPECT_LE(c, 6.0 * exact.cost + 1e-9) << "3·ρST bound (ρST = 2) violated";
+  // Lemma 2: certificate tree within 3·ρST·OPT; forest no worse than the
+  // certificate plus nothing (conflict resolution adds no cost).
+  EXPECT_LE(stats.steiner_tree_cost, 6.0 * exact.cost + 1e-9);
+  EXPECT_LE(c, stats.steiner_tree_cost + 1e-6)
+      << "deployment must not exceed the Steiner certificate";
+
+  const auto fss = core::sofda_ss(p, p.sources.front());
+  if (!fss.empty()) {
+    EXPECT_LE(total_cost(p, fss), 4.0 * exact.cost + 1e-9) << "(2+ρST) bound violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproximationEnvelope, ::testing::Range(1, 25));
+
+class KnobMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnobMonotonicity, CostsRespondSanely) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 4493 + 1;
+  // Longer chains cost more (same seed => same placement of shared knobs).
+  const double c2 = total_cost(sampled(seed, 15, 6, 5, 2), core::sofda(sampled(seed, 15, 6, 5, 2)));
+  const double c5 = total_cost(sampled(seed, 15, 6, 5, 5), core::sofda(sampled(seed, 15, 6, 5, 5)));
+  EXPECT_LE(c2, c5 + 1e-9) << "a longer chain cannot be cheaper";
+  // Averaged trends for destinations (strict per-seed monotonicity is not
+  // guaranteed because the random draws differ).
+  double few = 0.0, many = 0.0;
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    const Problem pf = sampled(seed + t, 15, 6, 2, 3);
+    const Problem pm = sampled(seed + t, 15, 6, 9, 3);
+    few += total_cost(pf, core::sofda(pf));
+    many += total_cost(pm, core::sofda(pm));
+  }
+  EXPECT_LT(few, many) << "more destinations should cost more on average";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnobMonotonicity, ::testing::Range(1, 7));
+
+TEST(Property, MoreVmsHelpOnAverage) {
+  double small = 0.0, large = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Problem p5 = sampled(seed * 271, 5, 6, 6, 3);
+    const Problem p45 = sampled(seed * 271, 45, 6, 6, 3);
+    small += total_cost(p5, core::sofda(p5));
+    large += total_cost(p45, core::sofda(p45));
+  }
+  EXPECT_LT(large, small) << "Fig. 8(c) shape: more VMs reduce cost";
+}
+
+TEST(Property, MoreSourcesHelpOnAverage) {
+  double few = 0.0, many = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Problem p2 = sampled(seed * 13, 15, 2, 6, 3);
+    const Problem p26 = sampled(seed * 13, 15, 20, 6, 3);
+    few += total_cost(p2, core::sofda(p2));
+    many += total_cost(p26, core::sofda(p26));
+  }
+  EXPECT_LT(many, few) << "Fig. 8(a) shape: more sources reduce cost";
+}
+
+TEST(Property, SetupScaleReducesVmUsage) {
+  // Fig. 11(b): as VM setup cost rises, SOFDA uses fewer VMs.
+  double cheap_vms = 0.0, pricey_vms = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    topology::ProblemConfig cfg;
+    cfg.num_vms = 20;
+    cfg.num_sources = 8;
+    cfg.num_destinations = 6;
+    cfg.chain_length = 3;
+    cfg.seed = seed * 53;
+    cfg.setup_scale = 1.0;
+    const auto p1 = topology::make_problem(topology::softlayer(), cfg);
+    cfg.setup_scale = 9.0;
+    const auto p9 = topology::make_problem(topology::softlayer(), cfg);
+    cheap_vms += static_cast<double>(core::sofda(p1).enabled_vms().size());
+    pricey_vms += static_cast<double>(core::sofda(p9).enabled_vms().size());
+  }
+  EXPECT_LE(pricey_vms, cheap_vms);
+}
+
+TEST(Property, DeterminismAcrossAlgorithms) {
+  const Problem p = sampled(31415, 12, 5, 5, 3);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_DOUBLE_EQ(total_cost(p, core::sofda(p)), total_cost(p, core::sofda(p)));
+    EXPECT_DOUBLE_EQ(total_cost(p, baselines::run(p, baselines::Kind::kEst)),
+                     total_cost(p, baselines::run(p, baselines::Kind::kEst)));
+  }
+}
+
+}  // namespace
+}  // namespace sofe

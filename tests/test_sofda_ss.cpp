@@ -1,0 +1,146 @@
+// SOFDA-SS (Algorithm 1) tests: feasibility, optimality on hand instances,
+// the chain/tree trade-off, and the (2+ρST) envelope vs the exact solver.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/sofda_ss.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/exact/solver.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::core {
+namespace {
+
+Problem line_problem() {
+  Problem p;
+  p.network = Graph(6);
+  for (NodeId v = 0; v + 1 < 6; ++v) p.network.add_edge(v, v + 1, 1.0);
+  p.node_cost = {0, 1, 2, 3, 4, 0};
+  p.is_vm = {0, 1, 1, 1, 1, 0};
+  p.sources = {0};
+  p.destinations = {5};
+  p.chain_length = 2;
+  return p;
+}
+
+Problem random_problem(std::uint64_t seed, int n, int m, int dests, int chain) {
+  util::Rng rng(seed);
+  Problem p;
+  p.network = Graph(n);
+  for (NodeId v = 1; v < n; ++v) {
+    p.network.add_edge(v, static_cast<NodeId>(rng.index(static_cast<std::size_t>(v))),
+                       rng.uniform(0.5, 4.0));
+  }
+  for (int e = 0; e < n; ++e) {
+    const NodeId u = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    const NodeId v = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+    if (u != v && p.network.find_edge(u, v) == graph::kInvalidEdge) {
+      p.network.add_edge(u, v, rng.uniform(0.5, 4.0));
+    }
+  }
+  p.node_cost.assign(static_cast<std::size_t>(n), 0.0);
+  p.is_vm.assign(static_cast<std::size_t>(n), 0);
+  const auto picks = rng.sample_without_replacement(static_cast<std::size_t>(n - 1),
+                                                    static_cast<std::size_t>(m + dests));
+  for (int i = 0; i < m; ++i) {
+    const NodeId v = static_cast<NodeId>(picks[static_cast<std::size_t>(i)] + 1);
+    p.is_vm[static_cast<std::size_t>(v)] = 1;
+    p.node_cost[static_cast<std::size_t>(v)] = rng.uniform(0.5, 5.0);
+  }
+  for (int i = m; i < m + dests; ++i) {
+    p.destinations.push_back(static_cast<NodeId>(picks[static_cast<std::size_t>(i)] + 1));
+  }
+  p.sources = {0};
+  p.chain_length = chain;
+  return p;
+}
+
+TEST(SofdaSs, LineInstanceExactStructure) {
+  const Problem p = line_problem();
+  const auto f = sofda_ss(p);
+  ASSERT_FALSE(f.empty());
+  EXPECT_TRUE(is_feasible(p, f)) << validate(p, f).summary();
+  // Optimal: f1@1, f2@2, walk straight to 5: setup 3 + connection 5 = 8.
+  EXPECT_DOUBLE_EQ(total_cost(p, f), 8.0);
+}
+
+TEST(SofdaSs, EmptyDestinationsGivesEmptyForest) {
+  Problem p = line_problem();
+  p.destinations.clear();
+  EXPECT_TRUE(sofda_ss(p).empty());
+}
+
+TEST(SofdaSs, LastVmTradeoffPrefersTreeProximity) {
+  // Expensive VM near the destinations beats a cheap VM far from them when
+  // the tree saving dominates — the crux of Algorithm 1's per-u scan.
+  Problem p;
+  p.network = Graph(7);
+  p.network.add_edge(0, 1, 1.0);   // s - cheapVM
+  p.network.add_edge(1, 2, 10.0);  // long haul
+  p.network.add_edge(2, 3, 1.0);   // nearVM - d1
+  p.network.add_edge(2, 4, 1.0);   //        - d2
+  p.network.add_edge(2, 5, 1.0);   //        - d3
+  p.network.add_edge(2, 6, 1.0);   // nearVM hangs off node 2
+  p.node_cost = {0, 1, 0, 0, 0, 0, 2};
+  p.is_vm = {0, 1, 0, 0, 0, 0, 1};
+  p.sources = {0};
+  p.destinations = {3, 4, 5};
+  p.chain_length = 2;
+  const auto f = sofda_ss(p);
+  ASSERT_FALSE(f.empty());
+  EXPECT_TRUE(is_feasible(p, f));
+  const auto enabled = f.enabled_vms();
+  EXPECT_TRUE(enabled.contains(6)) << "the last VM should sit next to the destinations";
+  EXPECT_EQ(enabled.at(6), 2);
+}
+
+TEST(SofdaSs, DestinationOnChainHandled) {
+  Problem p = line_problem();
+  p.destinations = {3};  // destination is also a VM on the likely chain
+  const auto f = sofda_ss(p);
+  ASSERT_FALSE(f.empty());
+  EXPECT_TRUE(is_feasible(p, f)) << validate(p, f).summary();
+}
+
+TEST(SofdaSs, MultipleDestinationsShareChain) {
+  Problem p = line_problem();
+  p.destinations = {4, 5};
+  const auto f = sofda_ss(p);
+  ASSERT_FALSE(f.empty());
+  EXPECT_TRUE(is_feasible(p, f));
+  // Both walks must share the enabled VMs (setup paid once).
+  EXPECT_EQ(f.enabled_vms().size(), 2u);
+}
+
+class SofdaSsEnvelope : public ::testing::TestWithParam<int> {};
+
+TEST_P(SofdaSsEnvelope, WithinTheoreticalBoundOfExact) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const Problem p = random_problem(seed * 271 + 9, 14, 5, 3, 2);
+  const auto f = sofda_ss(p);
+  if (f.empty()) GTEST_SKIP() << "instance infeasible";
+  ASSERT_TRUE(is_feasible(p, f)) << validate(p, f).summary();
+
+  const auto exact = exact::solve_exact(p);
+  ASSERT_TRUE(exact.optimal);
+  // (2 + ρST) with ρST = 2 ⇒ 4·OPT; empirically SOFDA-SS sits far below.
+  EXPECT_GE(total_cost(p, f), exact.cost - 1e-9);
+  EXPECT_LE(total_cost(p, f), 4.0 * exact.cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SofdaSsEnvelope, ::testing::Range(1, 17));
+
+TEST(SofdaSs, ShortenOptionNeverWorsens) {
+  const Problem p = random_problem(777, 16, 6, 4, 3);
+  AlgoOptions no_shorten;
+  no_shorten.shorten = false;
+  AlgoOptions with_shorten;
+  with_shorten.shorten = true;
+  const auto f1 = sofda_ss(p, 0, no_shorten);
+  const auto f2 = sofda_ss(p, 0, with_shorten);
+  if (f1.empty()) GTEST_SKIP();
+  EXPECT_LE(total_cost(p, f2), total_cost(p, f1) + 1e-9);
+}
+
+}  // namespace
+}  // namespace sofe::core

@@ -1,0 +1,152 @@
+// Steiner substrate tests: validity on hand instances, 2-approximation
+// envelope against the exact Dreyfus-Wagner oracle on random graphs, and
+// algorithm cross-checks.
+
+#include <gtest/gtest.h>
+
+#include "sofe/graph/oracles.hpp"
+#include "sofe/steiner/steiner.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::steiner {
+namespace {
+
+Graph random_connected(util::Rng& rng, int n, double extra_edge_prob) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.index(static_cast<std::size_t>(v))),
+               rng.uniform(0.5, 10.0));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(extra_edge_prob)) g.add_edge(u, v, rng.uniform(0.5, 10.0));
+    }
+  }
+  return g;
+}
+
+/// The classic KMB worst-ish case: a hub with cheap spokes vs a ring of
+/// terminals.  Optimal = star through the hub.
+Graph star_trap(int k, Cost spoke, Cost rim) {
+  Graph g(k + 1);  // node k = hub
+  for (NodeId v = 0; v < k; ++v) {
+    g.add_edge(v, k, spoke);
+    g.add_edge(v, (v + 1) % k, rim);
+  }
+  return g;
+}
+
+TEST(Steiner, SingleTerminalIsEmpty) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  for (auto algo : {Algorithm::kKmb, Algorithm::kMehlhorn, Algorithm::kTakahashiMatsuyama,
+                    Algorithm::kDreyfusWagner}) {
+    EXPECT_TRUE(solve(g, {1}, algo).edges.empty());
+  }
+}
+
+TEST(Steiner, TwoTerminalsIsShortestPath) {
+  // 0-1-2 (1+1) vs direct 0-2 (3): tree must cost 2.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 3.0);
+  for (auto algo : {Algorithm::kKmb, Algorithm::kMehlhorn, Algorithm::kTakahashiMatsuyama,
+                    Algorithm::kDreyfusWagner}) {
+    const auto tree = solve(g, {0, 2}, algo);
+    EXPECT_DOUBLE_EQ(tree.cost(g), 2.0) << "algorithm " << static_cast<int>(algo);
+  }
+}
+
+TEST(Steiner, ExactFindsHubStar) {
+  // 4 terminals on a rim (rim edges cost 2), hub spokes cost 1:
+  // exact Steiner = 4 spokes (cost 4); pure terminal-MST = 3 rim edges (6).
+  Graph g = star_trap(4, 1.0, 2.0);
+  const auto exact = dreyfus_wagner(g, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(exact.cost(g), 4.0);
+  EXPECT_TRUE(is_valid_steiner_tree(g, exact, {0, 1, 2, 3}));
+}
+
+TEST(Steiner, ApproxWithinTwoOnHubStar) {
+  Graph g = star_trap(6, 1.0, 1.8);
+  const std::vector<NodeId> T{0, 1, 2, 3, 4, 5};
+  const Cost opt = dreyfus_wagner(g, T).cost(g);
+  for (auto algo : {Algorithm::kKmb, Algorithm::kMehlhorn, Algorithm::kTakahashiMatsuyama}) {
+    const auto tree = solve(g, T, algo);
+    EXPECT_TRUE(is_valid_steiner_tree(g, tree, T));
+    EXPECT_LE(tree.cost(g), 2.0 * opt + 1e-9);
+  }
+}
+
+TEST(Steiner, DuplicateTerminalsTolerated) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto tree = mehlhorn(g, {0, 2, 0, 2, 2});
+  EXPECT_DOUBLE_EQ(tree.cost(g), 2.0);
+}
+
+struct RandomCase {
+  int seed;
+  int nodes;
+  int terminals;
+};
+
+class SteinerRandom : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(SteinerRandom, AllApproxValidAndWithinRatio) {
+  const auto [seed, n, t] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 1000 + 7);
+  Graph g = random_connected(rng, n, 0.12);
+  std::vector<NodeId> T;
+  const auto chosen = rng.sample_without_replacement(static_cast<std::size_t>(n),
+                                                     static_cast<std::size_t>(t));
+  for (auto v : chosen) T.push_back(static_cast<NodeId>(v));
+
+  const auto exact = dreyfus_wagner(g, T);
+  ASSERT_TRUE(is_valid_steiner_tree(g, exact, T));
+  const Cost opt = exact.cost(g);
+
+  for (auto algo : {Algorithm::kKmb, Algorithm::kMehlhorn, Algorithm::kTakahashiMatsuyama}) {
+    const auto tree = solve(g, T, algo);
+    EXPECT_TRUE(is_valid_steiner_tree(g, tree, T)) << "algo " << static_cast<int>(algo);
+    EXPECT_GE(tree.cost(g), opt - 1e-9) << "approx beat the exact optimum?!";
+    EXPECT_LE(tree.cost(g), 2.0 * opt + 1e-9) << "2-approximation bound violated";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SteinerRandom,
+    ::testing::Values(RandomCase{1, 10, 3}, RandomCase{2, 12, 4}, RandomCase{3, 15, 5},
+                      RandomCase{4, 18, 6}, RandomCase{5, 20, 4}, RandomCase{6, 22, 7},
+                      RandomCase{7, 25, 5}, RandomCase{8, 14, 8}, RandomCase{9, 30, 6},
+                      RandomCase{10, 16, 3}, RandomCase{11, 28, 8}, RandomCase{12, 24, 9}));
+
+TEST(Steiner, MehlhornEqualsKmbCostOnTrees) {
+  // On a tree graph the Steiner tree is unique: all algorithms must agree.
+  Graph g(7);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(1, 3, 4.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(0, 5, 3.0);
+  g.add_edge(5, 6, 2.0);
+  const std::vector<NodeId> T{2, 4, 6};
+  const Cost expect = dreyfus_wagner(g, T).cost(g);
+  EXPECT_DOUBLE_EQ(kmb(g, T).cost(g), expect);
+  EXPECT_DOUBLE_EQ(mehlhorn(g, T).cost(g), expect);
+  EXPECT_DOUBLE_EQ(takahashi_matsuyama(g, T).cost(g), expect);
+}
+
+TEST(Steiner, ZeroCostEdgesHandled) {
+  Graph g(4);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 0.0);
+  g.add_edge(2, 3, 5.0);
+  g.add_edge(0, 3, 9.0);
+  const auto tree = mehlhorn(g, {0, 3});
+  EXPECT_DOUBLE_EQ(tree.cost(g), 5.0);
+}
+
+}  // namespace
+}  // namespace sofe::steiner

@@ -1,0 +1,187 @@
+// Feasibility-validator tests: every IP constraint family must be detected
+// when violated and accepted when satisfied.
+
+#include <gtest/gtest.h>
+
+#include "sofe/core/validate.hpp"
+
+namespace sofe::core {
+namespace {
+
+Problem base_problem() {
+  // 0 - 1(vm) - 2(vm) - 3, plus 1-3 shortcut.
+  Problem p;
+  p.network = Graph(4);
+  p.network.add_edge(0, 1, 1.0);
+  p.network.add_edge(1, 2, 1.0);
+  p.network.add_edge(2, 3, 1.0);
+  p.network.add_edge(1, 3, 1.0);
+  p.node_cost = {0, 2, 3, 0};
+  p.is_vm = {0, 1, 1, 0};
+  p.sources = {0};
+  p.destinations = {3};
+  p.chain_length = 2;
+  return p;
+}
+
+ServiceForest good_forest() {
+  ServiceForest f;
+  ChainWalk w;
+  w.source = 0;
+  w.destination = 3;
+  w.nodes = {0, 1, 2, 3};
+  w.vnf_pos = {1, 2};
+  f.walks.push_back(w);
+  return f;
+}
+
+TEST(Validate, AcceptsFeasible) {
+  const Problem p = base_problem();
+  const auto r = validate(p, good_forest());
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(Validate, DetectsUnservedDestination) {
+  const Problem p = base_problem();
+  ServiceForest f;
+  const auto r = validate(p, f);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("not served"), std::string::npos);
+}
+
+TEST(Validate, DetectsDoubleService) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.push_back(f.walks.front());
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsForeignDestination) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  ChainWalk w = f.walks.front();
+  w.destination = 2;
+  w.nodes = {0, 1, 2};
+  w.vnf_pos = {1, 2};
+  f.walks.push_back(w);
+  const auto r = validate(p, f);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("non-destination"), std::string::npos);
+}
+
+TEST(Validate, DetectsBadSource) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().source = 2;
+  f.walks.front().nodes.front() = 2;
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsWalkNotStartingAtSource) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().nodes.front() = 1;  // claims source 0 but starts at 1
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsWalkNotEndingAtDestination) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().nodes.pop_back();
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsNonAdjacentStep) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().nodes = {0, 2, 3};  // 0-2 is not a link
+  f.walks.front().vnf_pos = {1, 1};
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsRepeatedConsecutiveNode) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().nodes = {0, 1, 1, 2, 3};
+  f.walks.front().vnf_pos = {1, 3};
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsWrongVnfCount) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().vnf_pos = {1};
+  const auto r = validate(p, f);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("expected 2 VNFs"), std::string::npos);
+}
+
+TEST(Validate, DetectsNonIncreasingPositions) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().vnf_pos = {2, 1};
+  EXPECT_FALSE(validate(p, f).ok);
+}
+
+TEST(Validate, DetectsVnfOnSwitch) {
+  const Problem p = base_problem();
+  ServiceForest f = good_forest();
+  f.walks.front().vnf_pos = {1, 3};  // position 3 is destination switch 3
+  const auto r = validate(p, f);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("non-VM"), std::string::npos);
+}
+
+TEST(Validate, DetectsVnfConflictAcrossWalks) {
+  Problem p = base_problem();
+  p.destinations = {3, 0};
+  p.sources = {0, 3};
+  ServiceForest f = good_forest();
+  ChainWalk w;  // reverse-direction walk assigning f1 to VM 2 (conflict: f2).
+  w.source = 3;
+  w.destination = 0;
+  w.nodes = {3, 2, 1, 0};
+  w.vnf_pos = {1, 2};
+  f.walks.push_back(w);
+  const auto r = validate(p, f);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("VNF conflict"), std::string::npos);
+}
+
+TEST(Validate, AcceptsSharedVmSameIndex) {
+  Problem p = base_problem();
+  p.destinations = {3, 2};
+  ServiceForest f = good_forest();
+  ChainWalk w;
+  w.source = 0;
+  w.destination = 2;
+  w.nodes = {0, 1, 2};
+  w.vnf_pos = {1, 2};
+  f.walks.push_back(w);
+  const auto r = validate(p, f);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(Validate, DetectsSameVmTwiceInOneChain) {
+  Problem p = base_problem();
+  ServiceForest f;
+  ChainWalk w;
+  w.source = 0;
+  w.destination = 3;
+  w.nodes = {0, 1, 2, 1, 3};
+  w.vnf_pos = {1, 3};  // node 1 runs f1 AND f2
+  f.walks.push_back(w);
+  const auto r = validate(p, f);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Validate, MalformedProblemRejected) {
+  Problem p = base_problem();
+  p.node_cost[0] = 5.0;  // switch with nonzero cost
+  const auto r = validate(p, good_forest());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.summary().find("malformed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sofe::core
