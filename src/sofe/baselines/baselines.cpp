@@ -1,6 +1,7 @@
 #include "sofe/baselines/baselines.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 

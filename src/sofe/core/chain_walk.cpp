@@ -1,6 +1,7 @@
 #include "sofe/core/chain_walk.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "sofe/kstroll/instance.hpp"
 

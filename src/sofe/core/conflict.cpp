@@ -1,6 +1,7 @@
 #include "sofe/core/conflict.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <set>
 

@@ -1,6 +1,7 @@
 #include "sofe/core/dynamic.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 
 #include "sofe/graph/dijkstra.hpp"

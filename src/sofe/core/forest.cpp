@@ -1,6 +1,7 @@
 #include "sofe/core/forest.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 
 #include "sofe/graph/dijkstra.hpp"

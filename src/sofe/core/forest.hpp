@@ -8,6 +8,7 @@
 // deduplicates shared (stage, link) uses exactly as the IP's τ_{f,u,v}
 // variables do, and shared enabled VMs exactly as σ_{f,u} does.
 
+#include <cassert>
 #include <map>
 #include <set>
 #include <string>

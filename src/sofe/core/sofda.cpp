@@ -1,6 +1,7 @@
 #include "sofe/core/sofda.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 
@@ -11,6 +12,14 @@
 namespace sofe::core {
 
 namespace {
+
+/// Ascending, duplicate-free copy — the canonical iteration order shared by
+/// the centralized and per-controller pricing paths.
+std::vector<NodeId> sorted_unique(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
 
 /// Rooted view of a tree edge set in the auxiliary graph.
 struct RootedTree {
@@ -75,6 +84,24 @@ ServiceForest multicast_only(const Problem& p, const AlgoOptions& opt) {
 
 }  // namespace
 
+std::vector<PricedChain> price_candidate_chains(const Problem& p,
+                                                const graph::MetricClosure& closure,
+                                                const std::vector<NodeId>& sources,
+                                                const AlgoOptions& opt) {
+  const std::vector<NodeId> vms = p.vms();
+  std::vector<PricedChain> candidates;
+  for (NodeId s : sorted_unique(sources)) {
+    for (NodeId u : vms) {
+      if (u == s) continue;
+      ChainPlan plan = plan_chain_walk(p, closure, s, vms, u, opt);
+      if (plan.feasible()) {
+        candidates.push_back(PricedChain{s, u, std::move(plan)});
+      }
+    }
+  }
+  return candidates;
+}
+
 ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats) {
   assert(p.well_formed());
   SofdaStats local;
@@ -90,24 +117,28 @@ ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats)
   const graph::MetricClosure closure(p.network, hubs);
 
   // --- Step 1: price candidate service chains for every (source, last VM).
-  struct Candidate {
-    NodeId source, last_vm;
-    ChainPlan plan;
-  };
-  std::vector<Candidate> candidates;
-  std::vector<NodeId> sorted_sources = p.sources;
-  std::sort(sorted_sources.begin(), sorted_sources.end());
-  sorted_sources.erase(std::unique(sorted_sources.begin(), sorted_sources.end()),
-                       sorted_sources.end());
-  for (NodeId s : sorted_sources) {
-    for (NodeId u : vms) {
-      if (u == s) continue;
-      ChainPlan plan = plan_chain_walk(p, closure, s, vms, u, opt);
-      if (plan.feasible()) {
-        candidates.push_back(Candidate{s, u, std::move(plan)});
-      }
-    }
-  }
+  const auto candidates = price_candidate_chains(p, closure, p.sources, opt);
+  return sofda_from_candidates(p, closure, candidates, opt, stats);
+}
+
+ServiceForest sofda_from_candidates(const Problem& p, const graph::MetricClosure& closure,
+                                    const std::vector<PricedChain>& candidates,
+                                    const AlgoOptions& opt, SofdaStats* stats) {
+  assert(p.well_formed());
+  assert(p.chain_length >= 1);
+  SofdaStats local;
+  SofdaStats& st = stats ? *stats : local;
+  st = SofdaStats{};
+
+  if (p.destinations.empty()) return {};
+
+  // Every source of `p` gets a duplicate in Ĝ (even candidate-less ones):
+  // the aux-graph node numbering must not depend on which sources priced a
+  // feasible chain, or heuristic tie-breaking could diverge between the
+  // centralized and per-controller pricing paths.
+  const std::vector<NodeId> vms = p.vms();
+  const std::vector<NodeId> sorted_sources = sorted_unique(p.sources);
+
   st.candidate_chains = static_cast<int>(candidates.size());
   if (candidates.empty()) return {};
 
@@ -138,9 +169,7 @@ ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats)
   }
 
   // --- Step 3: Steiner tree over {ŝ} ∪ D.
-  std::vector<NodeId> terminals = p.destinations;
-  std::sort(terminals.begin(), terminals.end());
-  terminals.erase(std::unique(terminals.begin(), terminals.end()), terminals.end());
+  std::vector<NodeId> terminals = sorted_unique(p.destinations);
   terminals.push_back(vroot);
   auto tree = steiner::solve(aux, terminals, opt.steiner);
 

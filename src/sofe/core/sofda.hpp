@@ -32,4 +32,33 @@ struct SofdaStats {
 ServiceForest sofda(const Problem& p, const AlgoOptions& opt = {},
                     SofdaStats* stats = nullptr);
 
+/// One priced candidate service chain: a feasible (source, last VM) pair and
+/// its Procedure-2 walk plan.  The unit of exchange between controllers in
+/// the multi-controller pipeline (Section VI).
+struct PricedChain {
+  NodeId source = graph::kInvalidNode;
+  NodeId last_vm = graph::kInvalidNode;
+  ChainPlan plan;
+};
+
+/// Step 1 of SOFDA exposed as a standalone phase: prices every feasible
+/// (source, last VM) chain for the given sources.  Sources are deduplicated
+/// and processed in ascending order, so candidates come back in canonical
+/// (source, last_vm) order regardless of the caller's grouping — merging the
+/// outputs of several calls over disjoint source sets and sorting by
+/// (source, last_vm) reproduces exactly what one call over the union yields.
+/// `closure` must hold Dijkstra trees for every source and every VM.
+std::vector<PricedChain> price_candidate_chains(const Problem& p,
+                                                const graph::MetricClosure& closure,
+                                                const std::vector<NodeId>& sources,
+                                                const AlgoOptions& opt = {});
+
+/// Steps 2-5 of SOFDA (auxiliary graph, Steiner tree, deployment, walks)
+/// given already-priced candidates in canonical (source, last_vm) order.
+/// `closure` must hold trees for every candidate's last VM (used by the
+/// drop-fallback re-homing).  Requires chain_length >= 1.
+ServiceForest sofda_from_candidates(const Problem& p, const graph::MetricClosure& closure,
+                                    const std::vector<PricedChain>& candidates,
+                                    const AlgoOptions& opt = {}, SofdaStats* stats = nullptr);
+
 }  // namespace sofe::core

@@ -1,6 +1,7 @@
 #include "sofe/core/sofda_ss.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "sofe/graph/dijkstra.hpp"

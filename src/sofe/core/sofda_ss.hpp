@@ -7,6 +7,8 @@
 // Steiner tree rooted at u spanning all destinations.  The cheapest of the
 // |M| candidate forests is returned.
 
+#include <cassert>
+
 #include "sofe/core/chain_walk.hpp"
 #include "sofe/core/forest.hpp"
 

@@ -1,5 +1,7 @@
 #include "sofe/costmodel/fortz_thorup.hpp"
 
+#include <cassert>
+
 namespace sofe::costmodel {
 
 double fortz_thorup(double load, double capacity) {

@@ -1,0 +1,102 @@
+#include "sofe/dist/dist_sofda.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iterator>
+#include <vector>
+
+#include "sofe/graph/metric_closure.hpp"
+#include "sofe/graph/oracles.hpp"
+
+namespace sofe::dist {
+
+DistSofdaResult distributed_sofda(const core::Problem& p, int controllers,
+                                  const core::AlgoOptions& opt) {
+  assert(p.well_formed());
+  DistSofdaResult r;
+  const int n = static_cast<int>(p.network.node_count());
+  const int k = std::clamp(controllers, 1, std::max(n, 1));
+  r.controllers = k;
+
+  if (k == 1 || p.chain_length == 0 || p.destinations.empty() ||
+      !graph::is_connected(p.network)) {
+    // One controller, a pipeline-less instance, or a disconnected fabric
+    // (which the domain protocol does not model): plain centralized SOFDA,
+    // no protocol to run.  core::sofda copes with disconnection by itself.
+    r.forest = core::sofda(p, opt, &r.stats);
+    return r;
+  }
+
+  MessageBus bus;
+
+  // --- Round 1: the coordinator partitions the network and ships each peer
+  // its domain assignment (one entry per node).
+  const Partition part = partition_bfs(p.network, k);
+  bus.broadcast(static_cast<std::size_t>(k - 1), static_cast<std::size_t>(n));
+  bus.end_round();
+
+  // --- Round 2: border-matrix exchange (charged by the oracle itself).
+  const DistanceOracle oracle(p.network, part, bus);
+
+  // --- Round 3: per-controller chain pricing.  Each controller prices the
+  // sources it administers; grouping by domain and re-sorting below yields
+  // the same canonical candidate list a centralized run prices, because
+  // price_candidate_chains emits (source, last_vm)-ordered output and the
+  // domains partition the source set.
+  const std::vector<core::NodeId> vms = p.vms();
+  std::vector<core::NodeId> hubs = vms;
+  hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
+  const graph::MetricClosure closure(p.network, hubs);
+
+  std::vector<std::vector<core::NodeId>> sources_of(static_cast<std::size_t>(k));
+  for (core::NodeId s : p.sources) {
+    sources_of[static_cast<std::size_t>(part.domain(s))].push_back(s);
+  }
+
+  std::vector<core::PricedChain> candidates;
+  for (int d = 0; d < k; ++d) {
+    auto local = core::price_candidate_chains(p, closure, sources_of[static_cast<std::size_t>(d)],
+                                              opt);
+    // Chains ending in a foreign domain are priced against the composed
+    // oracle distance — a query to that domain's controller.  The composed
+    // value must agree with the shared-state closure: that equality is the
+    // whole reason the distributed certificate matches the centralized one.
+    for (const auto& c : local) {
+      if (part.domain(c.source) != part.domain(c.last_vm)) {
+        [[maybe_unused]] const Cost composed = oracle.distance(c.source, c.last_vm);
+        assert(std::abs(composed - closure.distance(c.source, c.last_vm)) <= 1e-6 &&
+               "composed oracle distance diverged from the global metric");
+      }
+    }
+    if (d != 0) bus.send(local.size());  // report to the coordinator (possibly empty)
+    candidates.insert(candidates.end(), std::make_move_iterator(local.begin()),
+                      std::make_move_iterator(local.end()));
+  }
+  bus.end_round();
+
+  // Coordinator-side merge into the canonical (source, last_vm) order.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const core::PricedChain& a, const core::PricedChain& b) {
+              return a.source != b.source ? a.source < b.source : a.last_vm < b.last_vm;
+            });
+
+  // --- Round 4: the coordinator solves Procedure 3 over the merged
+  // candidates and broadcasts the selected chains plus the per-destination
+  // distribution segments.
+  r.forest = core::sofda_from_candidates(p, closure, candidates, opt, &r.stats);
+  bus.broadcast(static_cast<std::size_t>(k - 1),
+                static_cast<std::size_t>(r.stats.deployed_chains) + r.forest.walks.size());
+  bus.end_round();
+
+  // --- Round 5: controllers install their local rule slices and ack.
+  for (int d = 1; d < k; ++d) bus.send(1);
+  bus.end_round();
+
+  r.messages = bus.messages();
+  r.payload_items = bus.payload_items();
+  r.rounds = bus.rounds();
+  return r;
+}
+
+}  // namespace sofe::dist

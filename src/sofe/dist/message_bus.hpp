@@ -1,0 +1,48 @@
+#pragma once
+// Inter-controller message accounting (Section VI).
+//
+// The distributed pipeline is evaluated by its control-plane overhead: how
+// many controller-to-controller messages fly, how much data they carry, and
+// how many synchronized rounds the protocol needs.  MessageBus is the single
+// ledger for all three.  It deliberately models *cost*, not delivery — the
+// simulation computes with shared state and charges the bus for every
+// exchange the real protocol would perform.
+//
+// A *message* is one directed controller-to-controller transmission.  Its
+// *payload* is counted in items (matrix entries, candidate chains, walk
+// segments — whatever the phase ships).  A *round* is one bulk-synchronous
+// step: all messages of a phase are in flight together and the phase ends
+// with `end_round()`.
+
+#include <cstddef>
+
+namespace sofe::dist {
+
+class MessageBus {
+ public:
+  /// One directed message carrying `payload` items.
+  void send(std::size_t payload = 1) {
+    ++messages_;
+    payload_ += payload;
+  }
+
+  /// One controller sending the same `payload` to `peers` peers.
+  void broadcast(std::size_t peers, std::size_t payload = 1) {
+    messages_ += peers;
+    payload_ += peers * payload;
+  }
+
+  /// Closes the current bulk-synchronous round.
+  void end_round() { ++rounds_; }
+
+  std::size_t messages() const noexcept { return messages_; }
+  std::size_t payload_items() const noexcept { return payload_; }
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  std::size_t messages_ = 0;
+  std::size_t payload_ = 0;
+  int rounds_ = 0;
+};
+
+}  // namespace sofe::dist

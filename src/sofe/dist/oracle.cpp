@@ -1,0 +1,302 @@
+#include "sofe/dist/oracle.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace sofe::dist {
+
+namespace {
+
+using PQItem = std::pair<Cost, int>;  // (distance, index), min-heap
+using MinHeap = std::priority_queue<PQItem, std::vector<PQItem>, std::greater<>>;
+
+/// Per-query attachment arc from the virtual query source to a border node
+/// of x's domain (or straight to the virtual target when x and y share a
+/// domain).  All other query arcs are the prebuilt overlay adjacency.
+struct QArc {
+  int to;       // query-graph index of the head
+  Cost w;
+  NodeId head;  // the real node the arc reaches (border node, or y itself)
+};
+
+}  // namespace
+
+DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus& bus)
+    : g_(&g), part_(&part), bus_(&bus) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const int k = part.num_domains;
+  assert(static_cast<std::size_t>(part.domain_of.size()) == n);
+
+  local_index_.assign(n, -1);
+  for (const auto& mem : part.members) {
+    for (std::size_t i = 0; i < mem.size(); ++i) {
+      local_index_[static_cast<std::size_t>(mem[i])] = static_cast<int>(i);
+    }
+  }
+
+  overlay_index_.assign(n, -1);
+  border_pos_.assign(n, -1);
+  for (int d = 0; d < k; ++d) {
+    const auto& borders = part.borders[static_cast<std::size_t>(d)];
+    for (std::size_t bi = 0; bi < borders.size(); ++bi) {
+      overlay_index_[static_cast<std::size_t>(borders[bi])] =
+          static_cast<int>(overlay_nodes_.size());
+      border_pos_[static_cast<std::size_t>(borders[bi])] = static_cast<int>(bi);
+      overlay_nodes_.push_back(borders[bi]);
+    }
+  }
+
+  // Each controller runs Dijkstra from its border nodes over its own domain.
+  domains_.resize(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    auto& dd = domains_[static_cast<std::size_t>(d)];
+    const auto& borders = part.borders[static_cast<std::size_t>(d)];
+    dd.border_trees.resize(borders.size());
+    for (std::size_t bi = 0; bi < borders.size(); ++bi) {
+      local_dijkstra(borders[bi], dd.border_trees[bi].dist, dd.border_trees[bi].parent);
+    }
+  }
+
+  // Overlay arcs: the advertised intra-domain border-to-border distances plus
+  // every physical inter-domain link (whose endpoints are borders by
+  // definition).
+  overlay_adj_.resize(overlay_nodes_.size());
+  for (int d = 0; d < k; ++d) {
+    const auto& borders = part.borders[static_cast<std::size_t>(d)];
+    for (std::size_t bi = 0; bi < borders.size(); ++bi) {
+      const NodeId b1 = borders[bi];
+      for (NodeId b2 : borders) {
+        if (b2 == b1) continue;
+        const Cost w = domains_[static_cast<std::size_t>(d)]
+                           .border_trees[bi]
+                           .dist[static_cast<std::size_t>(local_index(b2))];
+        if (w < graph::kInfiniteCost) {
+          overlay_adj_[static_cast<std::size_t>(overlay_index_[static_cast<std::size_t>(b1)])]
+              .push_back(OverlayArc{overlay_index_[static_cast<std::size_t>(b2)], w,
+                                    /*cross=*/false, d, static_cast<int>(bi), b1, b2});
+        }
+      }
+    }
+  }
+  for (const auto& e : g.edges()) {
+    if (part.domain_of[static_cast<std::size_t>(e.u)] !=
+        part.domain_of[static_cast<std::size_t>(e.v)]) {
+      const int ou = overlay_index_[static_cast<std::size_t>(e.u)];
+      const int ov = overlay_index_[static_cast<std::size_t>(e.v)];
+      assert(ou >= 0 && ov >= 0 && "cross-link endpoint is not a border node");
+      overlay_adj_[static_cast<std::size_t>(ou)].push_back(
+          OverlayArc{ov, e.cost, /*cross=*/true, -1, -1, e.u, e.v});
+      overlay_adj_[static_cast<std::size_t>(ov)].push_back(
+          OverlayArc{ou, e.cost, /*cross=*/true, -1, -1, e.v, e.u});
+    }
+  }
+
+  // Charge the one-round all-to-all matrix exchange: each of the k
+  // controllers broadcasts its |borders|^2 matrix to the k-1 peers.
+  if (k > 1) {
+    for (int d = 0; d < k; ++d) {
+      const std::size_t m = part.borders[static_cast<std::size_t>(d)].size();
+      bus.broadcast(static_cast<std::size_t>(k - 1), m * m);
+    }
+    bus.end_round();
+  }
+}
+
+void DistanceOracle::local_dijkstra(NodeId start, std::vector<Cost>& dist,
+                                    std::vector<NodeId>& parent) const {
+  const int d = part_->domain(start);
+  const auto& mem = part_->members[static_cast<std::size_t>(d)];
+  dist.assign(mem.size(), graph::kInfiniteCost);
+  parent.assign(mem.size(), graph::kInvalidNode);
+  MinHeap pq;
+  dist[static_cast<std::size_t>(local_index(start))] = 0.0;
+  pq.emplace(0.0, local_index(start));
+  while (!pq.empty()) {
+    const auto [dv, li] = pq.top();
+    pq.pop();
+    if (dv > dist[static_cast<std::size_t>(li)]) continue;
+    const NodeId v = mem[static_cast<std::size_t>(li)];
+    for (const auto& arc : g_->neighbors(v)) {
+      if (part_->domain(arc.to) != d) continue;  // stay inside the domain
+      const int lw = local_index(arc.to);
+      const Cost nd = dv + g_->edge(arc.edge).cost;
+      if (nd < dist[static_cast<std::size_t>(lw)]) {
+        dist[static_cast<std::size_t>(lw)] = nd;
+        parent[static_cast<std::size_t>(lw)] = v;
+        pq.emplace(nd, lw);
+      }
+    }
+  }
+}
+
+const DistanceOracle::LocalTree& DistanceOracle::attachment_tree(NodeId v) const {
+  if (const int bp = border_pos_[static_cast<std::size_t>(v)]; bp >= 0) {
+    return domains_[static_cast<std::size_t>(part_->domain(v))]
+        .border_trees[static_cast<std::size_t>(bp)];
+  }
+  auto it = attach_cache_.find(v);
+  if (it == attach_cache_.end()) {
+    LocalTree t;
+    local_dijkstra(v, t.dist, t.parent);
+    it = attach_cache_.emplace(v, std::move(t)).first;
+  }
+  return it->second;
+}
+
+DistanceOracle::QueryResult DistanceOracle::query(NodeId x, NodeId y, bool want_path) const {
+  assert(g_->valid_node(x) && g_->valid_node(y));
+  QueryResult out;
+  if (x == y) {
+    out.dist = 0.0;
+    out.path = {x};
+    return out;
+  }
+  const int dx = part_->domain(x);
+  const int dy = part_->domain(y);
+
+  // A cross-domain query makes controller(x) fetch controller(y)'s
+  // border-to-target vector: one request, one response.
+  if (dx != dy) {
+    bus_->send(1);
+    bus_->send(part_->borders[static_cast<std::size_t>(dy)].size());
+  }
+
+  // Endpoint attachment trees (border endpoints reuse the constructor's
+  // trees; others are memoized across queries).
+  const LocalTree& tx = attachment_tree(x);
+  const LocalTree& ty = attachment_tree(y);
+  const std::vector<Cost>& dist_x = tx.dist;
+  const std::vector<NodeId>& par_x = tx.parent;
+  const std::vector<Cost>& dist_y = ty.dist;
+  const std::vector<NodeId>& par_y = ty.parent;
+
+  // Query graph: the prebuilt overlay (reused as-is) plus two virtual
+  // endpoints.  The only per-query arcs are the endpoint attachments.
+  const int nb = static_cast<int>(overlay_nodes_.size());
+  const int qx = nb, qy = nb + 1;
+  std::vector<QArc> x_arcs;  // qx -> borders of dx, and qx -> qy when dx == dy
+  for (NodeId b : part_->borders[static_cast<std::size_t>(dx)]) {
+    const Cost w = dist_x[static_cast<std::size_t>(local_index(b))];
+    if (w < graph::kInfiniteCost) {
+      x_arcs.push_back(QArc{overlay_index_[static_cast<std::size_t>(b)], w, b});
+    }
+  }
+  if (dx == dy) {
+    const Cost w = dist_x[static_cast<std::size_t>(local_index(y))];
+    if (w < graph::kInfiniteCost) {
+      x_arcs.push_back(QArc{qy, w, y});
+    }
+  }
+  std::vector<Cost> y_w(static_cast<std::size_t>(nb),
+                        graph::kInfiniteCost);  // border -> y attachment weights
+  for (NodeId b : part_->borders[static_cast<std::size_t>(dy)]) {
+    const Cost w = dist_y[static_cast<std::size_t>(local_index(b))];
+    if (w < graph::kInfiniteCost) {
+      y_w[static_cast<std::size_t>(overlay_index_[static_cast<std::size_t>(b)])] = w;
+    }
+  }
+
+  // Dijkstra over [0, nb+2), remembering (from, arc) per settled node so the
+  // winning hop sequence can be expanded afterwards.  Arc encoding: from ==
+  // qx indexes x_arcs; a border `from` with arc index >= 0 indexes
+  // overlay_adj_[from]; arc index -1 is `from`'s border -> y attachment.
+  std::vector<Cost> qdist(static_cast<std::size_t>(nb) + 2, graph::kInfiniteCost);
+  std::vector<std::pair<int, int>> qpar(static_cast<std::size_t>(nb) + 2, {-1, -1});
+  MinHeap pq;
+  qdist[static_cast<std::size_t>(qx)] = 0.0;
+  pq.emplace(0.0, qx);
+  const auto relax = [&](int to, Cost nd, int from, int ai) {
+    if (nd < qdist[static_cast<std::size_t>(to)]) {
+      qdist[static_cast<std::size_t>(to)] = nd;
+      qpar[static_cast<std::size_t>(to)] = {from, ai};
+      pq.emplace(nd, to);
+    }
+  };
+  while (!pq.empty()) {
+    const auto [dv, v] = pq.top();
+    pq.pop();
+    if (dv > qdist[static_cast<std::size_t>(v)]) continue;
+    if (v == qy) break;
+    if (v == qx) {
+      for (std::size_t ai = 0; ai < x_arcs.size(); ++ai) {
+        relax(x_arcs[ai].to, dv + x_arcs[ai].w, qx, static_cast<int>(ai));
+      }
+    } else {
+      const auto& arcs = overlay_adj_[static_cast<std::size_t>(v)];
+      for (std::size_t ai = 0; ai < arcs.size(); ++ai) {
+        relax(arcs[ai].to, dv + arcs[ai].w, v, static_cast<int>(ai));
+      }
+      if (y_w[static_cast<std::size_t>(v)] < graph::kInfiniteCost) {
+        relax(qy, dv + y_w[static_cast<std::size_t>(v)], v, -1);
+      }
+    }
+  }
+  out.dist = qdist[static_cast<std::size_t>(qy)];
+  if (!want_path || out.dist >= graph::kInfiniteCost) return out;
+
+  // Collect the winning hops X -> ... -> Y.
+  std::vector<std::pair<int, int>> hops;  // (from, arc index) per hop
+  for (int v = qy; v != qx;) {
+    const auto [from, ai] = qpar[static_cast<std::size_t>(v)];
+    assert(from >= 0);
+    hops.emplace_back(from, ai);
+    v = from;
+  }
+  std::reverse(hops.begin(), hops.end());
+
+  // Chain walkers: parent pointers aim at the Dijkstra source, so a chain
+  // from `v` yields v..source; reverse it for source..v segments.
+  const auto chain = [&](NodeId from_node, const std::vector<NodeId>& par) {
+    std::vector<NodeId> seg;
+    for (NodeId v = from_node; v != graph::kInvalidNode;
+         v = par[static_cast<std::size_t>(local_index(v))]) {
+      seg.push_back(v);
+    }
+    return seg;
+  };
+
+  // Expand each hop to its full tail..head node sequence and stitch.
+  out.path.push_back(x);
+  for (const auto& [from, ai] : hops) {
+    std::vector<NodeId> seg;
+    if (from == qx) {
+      // x -> border or x -> y attachment: walk back to x, reverse.
+      seg = chain(x_arcs[static_cast<std::size_t>(ai)].head, par_x);
+      std::reverse(seg.begin(), seg.end());
+    } else if (ai < 0) {
+      // border -> y attachment: y's parent pointers already aim at y.
+      seg = chain(overlay_nodes_[static_cast<std::size_t>(from)], par_y);
+    } else {
+      const OverlayArc& oa = overlay_adj_[static_cast<std::size_t>(from)]
+                                         [static_cast<std::size_t>(ai)];
+      if (oa.cross) {
+        seg = {oa.tail, oa.head};
+      } else {
+        // Intra-domain border-to-border segment from the advertised tree.
+        seg = chain(oa.head, domains_[static_cast<std::size_t>(oa.domain)]
+                                 .border_trees[static_cast<std::size_t>(oa.src_border)]
+                                 .parent);
+        std::reverse(seg.begin(), seg.end());
+      }
+    }
+    assert(!seg.empty() && seg.front() == out.path.back() &&
+           "hop does not continue the stitched path");
+    out.path.insert(out.path.end(), seg.begin() + 1, seg.end());
+  }
+  assert(out.path.front() == x && out.path.back() == y);
+  return out;
+}
+
+Cost DistanceOracle::distance(NodeId x, NodeId y) const {
+  return query(x, y, /*want_path=*/false).dist;
+}
+
+std::vector<NodeId> DistanceOracle::path(NodeId x, NodeId y) const {
+  return query(x, y, /*want_path=*/true).path;
+}
+
+}  // namespace sofe::dist

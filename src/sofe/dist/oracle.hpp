@@ -1,0 +1,112 @@
+#pragma once
+// Exact inter-domain distance oracle (Section VI).
+//
+// No controller sees the whole network, yet SOFDA's pricing needs exact
+// global shortest-path distances.  The oracle composes them from per-domain
+// information only:
+//
+//   * every controller runs Dijkstra from each of its border nodes,
+//     restricted to its own domain, and broadcasts the resulting
+//     border-to-border distance matrix to its peers (one bulk round on the
+//     MessageBus);
+//   * the received matrices plus the physical inter-domain links form a small
+//     *overlay graph* over all border nodes;
+//   * a query (x, y) runs two domain-local Dijkstras (from x and from y) and
+//     one Dijkstra on the overlay.
+//
+// Exactness (the property the tests pin to 1e-9): any global shortest path
+// decomposes into maximal intra-domain segments joined by inter-domain
+// links.  Each segment connects two border nodes of one domain (or an
+// endpoint to a border) and uses only that domain's edges, so it is no
+// cheaper than the domain-restricted shortest path the controller
+// advertised; hence the overlay distance lower-bounds the global one.
+// Conversely every overlay walk expands to a real walk in G, so it also
+// upper-bounds it.  The two meet: composed distances equal global Dijkstra,
+// and the expanded (stitched) paths are real shortest paths.
+
+#include <unordered_map>
+#include <vector>
+
+#include "sofe/dist/message_bus.hpp"
+#include "sofe/dist/partition.hpp"
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::dist {
+
+class DistanceOracle {
+ public:
+  /// Precomputes the per-domain border structures and charges the matrix
+  /// exchange to `bus`: with k domains, each controller broadcasts its
+  /// |borders|^2 matrix to the k-1 peers in a single round (no exchange —
+  /// and no round — happens with a single controller).  `g` and `part` must
+  /// outlive the oracle.
+  DistanceOracle(const Graph& g, const Partition& part, MessageBus& bus);
+
+  /// Exact global shortest-path distance between any two nodes.  When the
+  /// endpoints live in different domains, the owning controller fetches the
+  /// peer's border-to-target vector, charged as one request/response pair.
+  Cost distance(NodeId x, NodeId y) const;
+
+  /// A real shortest path x -> y, stitched from domain-local segments and
+  /// inter-domain links.  Every consecutive pair is a physical link of `g`.
+  std::vector<NodeId> path(NodeId x, NodeId y) const;
+
+  /// Number of border nodes across all domains (the overlay size).
+  std::size_t overlay_size() const noexcept { return overlay_nodes_.size(); }
+
+ private:
+  struct OverlayArc {
+    int to;          // overlay index of the head border node
+    Cost w;
+    bool cross;      // physical inter-domain link vs composed intra segment
+    int domain;      // intra arcs: the domain whose interior realizes the hop
+    int src_border;  // intra arcs: index into that domain's border list
+    NodeId tail, head;
+  };
+
+  /// One domain-restricted Dijkstra tree: distance and (global-id) parent
+  /// arrays over the domain's members, indexed by local member index.
+  struct LocalTree {
+    std::vector<Cost> dist;
+    std::vector<NodeId> parent;
+  };
+
+  struct DomainData {
+    // Per border node (indexed as in part.borders[d]): the tree from that
+    // border over the domain's induced subgraph.
+    std::vector<LocalTree> border_trees;
+  };
+
+  /// Dijkstra from `start`, restricted to the induced subgraph of the
+  /// domain `start` belongs to.  Outputs are indexed by local member index.
+  void local_dijkstra(NodeId start, std::vector<Cost>& dist,
+                      std::vector<NodeId>& parent) const;
+
+  struct QueryResult {
+    Cost dist = graph::kInfiniteCost;
+    std::vector<NodeId> path;  // populated when requested and reachable
+  };
+  QueryResult query(NodeId x, NodeId y, bool want_path) const;
+
+  /// The tree attaching query endpoint `v` to its domain's borders.  Border
+  /// nodes reuse the constructor's trees; other endpoints are solved once
+  /// and memoized (graph and partition are fixed for the oracle's
+  /// lifetime).  Not thread-safe, like the query path's bus accounting.
+  const LocalTree& attachment_tree(NodeId v) const;
+
+  int local_index(NodeId v) const { return local_index_[static_cast<std::size_t>(v)]; }
+
+  const Graph* g_;
+  const Partition* part_;
+  MessageBus* bus_;
+
+  std::vector<int> local_index_;       // node -> index within its domain's members
+  std::vector<int> overlay_index_;     // node -> overlay index (-1 if not a border)
+  std::vector<int> border_pos_;        // node -> index within its domain's borders (-1)
+  std::vector<NodeId> overlay_nodes_;  // overlay index -> node
+  std::vector<std::vector<OverlayArc>> overlay_adj_;
+  std::vector<DomainData> domains_;
+  mutable std::unordered_map<NodeId, LocalTree> attach_cache_;  // non-border endpoints
+};
+
+}  // namespace sofe::dist

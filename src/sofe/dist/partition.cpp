@@ -1,0 +1,134 @@
+#include "sofe/dist/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace sofe::dist {
+
+namespace {
+
+/// Hop distances from `source`, ignoring edge costs: controller placement is
+/// a topology question (how many hops of the fabric a controller oversees),
+/// not a routing one.
+std::vector<int> hop_bfs(const Graph& g, NodeId source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (const auto& arc : g.neighbors(v)) {
+      auto& d = dist[static_cast<std::size_t>(arc.to)];
+      if (d < 0) {
+        d = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Partition partition_bfs(const Graph& g, int k) {
+  const NodeId n = g.node_count();
+  assert(n > 0 && "cannot partition an empty graph");
+  k = std::clamp(k, 1, static_cast<int>(n));
+
+  // --- Seed placement: farthest-first traversal in the hop metric.  The
+  // first controller sits at node 0; every next one claims the node farthest
+  // from all chosen seats (ties break toward the smaller id), which spreads
+  // the k seats across the diameter like a k-center heuristic.  A node no
+  // seat can reach (disconnected graph) counts as infinitely far, so every
+  // component is seeded before any component gets a second seat.
+  const auto hop_or_inf = [](int d) {
+    return d < 0 ? std::numeric_limits<int>::max() : d;
+  };
+  std::vector<NodeId> seeds{0};
+  std::vector<int> nearest = hop_bfs(g, 0);
+  while (static_cast<int>(seeds.size()) < k) {
+    NodeId best = 0;
+    for (NodeId v = 1; v < n; ++v) {
+      if (hop_or_inf(nearest[static_cast<std::size_t>(v)]) >
+          hop_or_inf(nearest[static_cast<std::size_t>(best)])) {
+        best = v;
+      }
+    }
+    assert(hop_or_inf(nearest[static_cast<std::size_t>(best)]) > 0 &&
+           "farthest node is already a seed");
+    seeds.push_back(best);
+    const auto from_new = hop_bfs(g, best);
+    for (NodeId v = 0; v < n; ++v) {
+      nearest[static_cast<std::size_t>(v)] = std::min(
+          hop_or_inf(nearest[static_cast<std::size_t>(v)]),
+          hop_or_inf(from_new[static_cast<std::size_t>(v)]));
+    }
+  }
+
+  // --- Synchronized multi-source BFS growth.  Every node is claimed through
+  // a link from an already-claimed node of the same domain, so each domain is
+  // a BFS tree: nonempty, connected in its induced subgraph.  FIFO order over
+  // the seed list makes ties deterministic (earlier seed wins).
+  Partition part;
+  part.num_domains = k;
+  part.domain_of.assign(static_cast<std::size_t>(n), -1);
+  std::queue<NodeId> frontier;
+  for (int d = 0; d < k; ++d) {
+    part.domain_of[static_cast<std::size_t>(seeds[static_cast<std::size_t>(d)])] = d;
+    frontier.push(seeds[static_cast<std::size_t>(d)]);
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const auto& arc : g.neighbors(v)) {
+      auto& dom = part.domain_of[static_cast<std::size_t>(arc.to)];
+      if (dom < 0) {
+        dom = part.domain_of[static_cast<std::size_t>(v)];
+        frontier.push(arc.to);
+      }
+    }
+  }
+
+  // Disconnected graph with fewer controllers than components: the loop
+  // above left whole components unclaimed.  Hand each leftover component to
+  // a domain round-robin so every node gets an owner in every build type —
+  // those domains span components (the connectivity guarantee is only
+  // attainable on a connected graph; see the header).
+  int orphan_component = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (part.domain_of[static_cast<std::size_t>(v)] >= 0) continue;
+    const int dom = orphan_component++ % k;
+    part.domain_of[static_cast<std::size_t>(v)] = dom;
+    frontier.push(v);
+    while (!frontier.empty()) {
+      const NodeId w = frontier.front();
+      frontier.pop();
+      for (const auto& arc : g.neighbors(w)) {
+        auto& d2 = part.domain_of[static_cast<std::size_t>(arc.to)];
+        if (d2 < 0) {
+          d2 = dom;
+          frontier.push(arc.to);
+        }
+      }
+    }
+  }
+
+  part.members.resize(static_cast<std::size_t>(k));
+  part.borders.resize(static_cast<std::size_t>(k));
+  for (NodeId v = 0; v < n; ++v) {
+    const int dom = part.domain_of[static_cast<std::size_t>(v)];
+    part.members[static_cast<std::size_t>(dom)].push_back(v);
+    for (const auto& arc : g.neighbors(v)) {
+      if (part.domain_of[static_cast<std::size_t>(arc.to)] != dom) {
+        part.borders[static_cast<std::size_t>(dom)].push_back(v);
+        break;
+      }
+    }
+  }
+  return part;
+}
+
+}  // namespace sofe::dist

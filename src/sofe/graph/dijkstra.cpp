@@ -1,6 +1,7 @@
 #include "sofe/graph/dijkstra.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 
 namespace sofe::graph {

@@ -7,6 +7,7 @@
 // the same hub set {sources} ∪ {VMs} ∪ {destinations}; this class computes
 // each hub's Dijkstra tree once and shares it.
 
+#include <cassert>
 #include <unordered_map>
 #include <vector>
 

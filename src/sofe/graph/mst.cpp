@@ -1,6 +1,7 @@
 #include "sofe/graph/mst.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 #include <queue>
 

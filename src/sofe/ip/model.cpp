@@ -1,6 +1,7 @@
 #include "sofe/ip/model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 #include <sstream>
 

@@ -1,6 +1,7 @@
 #include "sofe/kstroll/instance.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace sofe::kstroll {
 
@@ -10,6 +11,7 @@ StrollInstance build_stroll_instance(const Graph& g, const MetricClosure& closur
   assert(g.valid_node(s) && g.valid_node(u));
   assert(std::find(vms.begin(), vms.end(), u) != vms.end() && "last VM must be in the VM set");
   assert(u != s && "the last VM must differ from the source");
+  (void)g;  // consulted by the asserts only; the closure carries the distances
 
   StrollInstance inst;
   inst.source = s;

@@ -17,6 +17,7 @@
 //
 // Lemma 1: these edge costs satisfy the triangle inequality (tested).
 
+#include <cassert>
 #include <vector>
 
 #include "sofe/graph/graph.hpp"

@@ -2,6 +2,7 @@
 // Takahashi-Matsuyama.  All three carry the classic 2(1 - 1/t) guarantee.
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <numeric>
 #include <set>

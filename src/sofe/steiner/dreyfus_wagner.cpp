@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <queue>
 
 #include "sofe/graph/dijkstra.hpp"

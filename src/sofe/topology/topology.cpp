@@ -1,6 +1,7 @@
 #include "sofe/topology/topology.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <set>
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sofe/core/sofda.hpp"
 #include "sofe/core/validate.hpp"
 #include "sofe/dist/dist_sofda.hpp"
@@ -141,6 +143,126 @@ TEST(DistributedSofda, SingleControllerDegeneratesToCentralized) {
   const auto dist_r = distributed_sofda(p, 1);
   ASSERT_FALSE(dist_r.forest.empty());
   EXPECT_NEAR(core::total_cost(p, dist_r.forest), core::total_cost(p, central), 1e-6);
+}
+
+TEST(Partition, OneDomainPerNode) {
+  // k == |V|: every domain is a single node, and every node is a border of
+  // its own domain (all of its links cross).
+  const auto topo = topology::softlayer();
+  const int n = static_cast<int>(topo.g.node_count());
+  const auto part = partition_bfs(topo.g, n);
+  EXPECT_EQ(part.num_domains, n);
+  for (int d = 0; d < n; ++d) {
+    ASSERT_EQ(part.members[static_cast<std::size_t>(d)].size(), 1u);
+    EXPECT_EQ(part.borders[static_cast<std::size_t>(d)],
+              part.members[static_cast<std::size_t>(d)]);
+  }
+}
+
+TEST(Partition, ClampsControllerCountToNodeCount) {
+  const auto topo = topology::ring(4);
+  const auto part = partition_bfs(topo.g, 10);
+  EXPECT_EQ(part.num_domains, 4);
+  std::size_t covered = 0;
+  for (const auto& m : part.members) covered += m.size();
+  EXPECT_EQ(covered, 4u);
+}
+
+TEST(Partition, DisconnectedGraphStaysCovering) {
+  // Two components (0-1-2 and 3-4).  The partition cannot keep every domain
+  // connected, but it must stay a total, in-bounds covering in every build
+  // type, with each component seeded before any gets a second seed.
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  for (int k : {1, 2, 3, 5}) {
+    const auto part = partition_bfs(g, k);
+    EXPECT_EQ(part.num_domains, k);
+    std::size_t covered = 0;
+    for (const auto& m : part.members) covered += m.size();
+    EXPECT_EQ(covered, 5u);
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_GE(part.domain_of[static_cast<std::size_t>(v)], 0);
+      EXPECT_LT(part.domain_of[static_cast<std::size_t>(v)], k);
+    }
+  }
+}
+
+TEST(Oracle, ExactWithSingleNodeDomains) {
+  // ring(5) with 3 controllers yields a mixed partition with single-node
+  // domains; all-pairs composed distances must still equal global Dijkstra.
+  const auto topo = topology::ring(5);
+  MessageBus bus;
+  const auto part = partition_bfs(topo.g, 3);
+  bool has_singleton = false;
+  for (const auto& m : part.members) has_singleton |= (m.size() == 1);
+  ASSERT_TRUE(has_singleton) << "partition no longer produces a single-node domain";
+  DistanceOracle oracle(topo.g, part, bus);
+  for (NodeId x = 0; x < topo.g.node_count(); ++x) {
+    const auto sp = graph::dijkstra(topo.g, x);
+    for (NodeId y = 0; y < topo.g.node_count(); ++y) {
+      EXPECT_NEAR(oracle.distance(x, y), sp.distance(y), 1e-9);
+    }
+  }
+}
+
+TEST(Oracle, ExactWhenEveryDomainIsOneNode) {
+  // The degenerate overlay: the overlay *is* the graph (every node a border,
+  // every link a cross link); composition must reduce to plain Dijkstra.
+  const auto topo = topology::grid(3, 3);
+  MessageBus bus;
+  const auto part = partition_bfs(topo.g, static_cast<int>(topo.g.node_count()));
+  DistanceOracle oracle(topo.g, part, bus);
+  for (NodeId x = 0; x < topo.g.node_count(); ++x) {
+    const auto sp = graph::dijkstra(topo.g, x);
+    for (NodeId y = 0; y < topo.g.node_count(); ++y) {
+      EXPECT_NEAR(oracle.distance(x, y), sp.distance(y), 1e-9);
+    }
+  }
+}
+
+TEST(DistributedSofda, AllSourcesInOneDomain) {
+  // Every source administered by a single controller: the other controllers
+  // contribute no candidates, yet the merged pipeline must still reproduce
+  // the centralized certificate.
+  constexpr int kControllers = 3;
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 8;
+  cfg.num_sources = 2;
+  cfg.num_destinations = 4;
+  cfg.chain_length = 2;
+  cfg.seed = 41;
+  auto p = topology::make_problem(topology::softlayer(), cfg);
+
+  // Re-home all sources into domain 0 of the partition the driver will use.
+  const auto part = partition_bfs(p.network, kControllers);
+  p.sources.clear();
+  for (NodeId v : part.members[0]) {
+    if (p.is_vm[static_cast<std::size_t>(v)]) continue;
+    if (std::find(p.destinations.begin(), p.destinations.end(), v) != p.destinations.end()) {
+      continue;
+    }
+    p.sources.push_back(v);
+    if (p.sources.size() == 3) break;
+  }
+  ASSERT_GE(p.sources.size(), 2u) << "domain 0 too small to host the sources";
+  for (NodeId s : p.sources) {
+    ASSERT_EQ(part.domain(s), 0);
+  }
+
+  core::SofdaStats central_stats;
+  const auto central = core::sofda(p, {}, &central_stats);
+  ASSERT_FALSE(central.empty());
+  const auto dist_r = distributed_sofda(p, kControllers);
+  ASSERT_FALSE(dist_r.forest.empty());
+  EXPECT_TRUE(core::is_feasible(p, dist_r.forest))
+      << core::validate(p, dist_r.forest).summary();
+  EXPECT_NEAR(dist_r.stats.steiner_tree_cost, central_stats.steiner_tree_cost, 1e-6);
+  EXPECT_EQ(dist_r.stats.deployed_chains, central_stats.deployed_chains);
+  EXPECT_NEAR(core::total_cost(p, dist_r.forest), core::total_cost(p, central),
+              0.05 * core::total_cost(p, central) + 1e-6);
+  EXPECT_GT(dist_r.messages, 0u);
 }
 
 TEST(DistributedSofda, MoreControllersMoreMessages) {

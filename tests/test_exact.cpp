@@ -206,9 +206,13 @@ TEST_P(ExactLowerBound, NeverAboveAnyHeuristic) {
   EXPECT_NEAR(core::total_cost(p, r.forest), r.cost, 1e-9);
 
   const auto fa = core::sofda(p);
-  if (!fa.empty()) EXPECT_GE(core::total_cost(p, fa) + 1e-9, r.cost);
+  if (!fa.empty()) {
+    EXPECT_GE(core::total_cost(p, fa) + 1e-9, r.cost);
+  }
   const auto fs = core::sofda_ss(p, p.sources.front());
-  if (!fs.empty()) EXPECT_GE(core::total_cost(p, fs) + 1e-9, r.cost);
+  if (!fs.empty()) {
+    EXPECT_GE(core::total_cost(p, fs) + 1e-9, r.cost);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactLowerBound, ::testing::Range(1, 25));
