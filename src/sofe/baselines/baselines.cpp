@@ -5,7 +5,6 @@
 #include <map>
 #include <set>
 
-#include "sofe/graph/dijkstra.hpp"
 #include "sofe/graph/metric_closure.hpp"
 #include "sofe/steiner/steiner.hpp"
 
@@ -110,7 +109,7 @@ ServiceForest single_tree_est(const Problem& p, NodeId source,
 
   std::vector<NodeId> hubs = usable_vms;
   hubs.push_back(source);
-  const graph::MetricClosure closure(p.network, hubs);
+  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
 
   // The paper's eST: the tree is fixed first (NFV-oblivious); the grafted
   // chain is the one minimizing  chain cost + connector cost to the tree  —
@@ -156,7 +155,7 @@ ServiceForest single_tree_enemp(const Problem& p, NodeId source,
 
   std::vector<NodeId> hubs = usable_vms;
   hubs.push_back(source);
-  const graph::MetricClosure closure(p.network, hubs);
+  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
 
   // NEMP's chain must end on a VM *spanned by the tree* (the paper's
   // extension: "the chain spans the VM that has been chosen in the tree").

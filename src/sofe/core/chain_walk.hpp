@@ -33,6 +33,10 @@ struct AlgoOptions {
   kstroll::StrollAlgorithm stroll = kstroll::StrollAlgorithm::kCheapestInsertion;
   steiner::Algorithm steiner = steiner::Algorithm::kMehlhorn;
   bool shorten = true;  // apply the pass-through shortening post-step
+  // Threads for metric-closure (hub shortest-path tree) construction.
+  // Output is bit-identical for any value (see MetricClosure); > 1 pays off
+  // on Cogent/Inet-scale instances with many VMs + sources.
+  int closure_threads = 1;
 };
 
 /// Procedure 2.  `closure` must contain Dijkstra trees for `source` and every

@@ -4,7 +4,6 @@
 #include <cassert>
 #include <set>
 
-#include "sofe/graph/dijkstra.hpp"
 #include "sofe/kstroll/instance.hpp"
 
 namespace sofe::core {
@@ -34,9 +33,18 @@ void splice_segment(ChainWalk& w, std::size_t a_pos, std::size_t b_pos,
 }  // namespace
 
 const graph::ShortestPathTree& DynamicForest::paths_from(NodeId from) {
+  // Rebind after construction or a move, and drop every cached tree when the
+  // network mutated since it was built (edge-cost updates included —
+  // Graph::version() covers set_edge_cost, add_edge and add_node).
+  if (engine_.graph() != &p_.network || cache_version_ != p_.network.version()) {
+    engine_.attach(p_.network);
+    path_cache_.clear();
+    cache_version_ = p_.network.version();
+  }
   auto it = path_cache_.find(from);
   if (it == path_cache_.end()) {
-    it = path_cache_.emplace(from, graph::dijkstra(p_.network, from)).first;
+    it = path_cache_.emplace(from, graph::ShortestPathTree{}).first;
+    engine_.run_into(from, it->second);
   }
   return it->second;
 }
@@ -222,8 +230,7 @@ bool DynamicForest::vnf_insert(int j, const AlgoOptions& opt) {
 }
 
 int DynamicForest::reroute_link(EdgeId e, Cost new_cost) {
-  p_.network.set_edge_cost(e, new_cost);
-  invalidate_paths();
+  p_.network.set_edge_cost(e, new_cost);  // bumps version(); cache self-invalidates
   const NodeId eu = p_.network.edge(e).u;
   const NodeId ev = p_.network.edge(e).v;
 

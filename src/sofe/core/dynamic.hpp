@@ -19,12 +19,14 @@
 //
 // Every operation preserves feasibility (validated in tests).
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "sofe/core/chain_walk.hpp"
 #include "sofe/core/forest.hpp"
 #include "sofe/core/validate.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
 
 namespace sofe::core {
 
@@ -60,13 +62,20 @@ class DynamicForest {
   bool migrate_vm(NodeId v, Cost new_cost, const AlgoOptions& opt = {});
 
  private:
-  /// Dijkstra from `from`, cached per epoch (invalidated on cost changes).
+  /// Shortest-path tree from `from`, built through the shared engine and
+  /// cached per graph version: any mutation of the network (set_edge_cost in
+  /// reroute_link, structural edits) bumps Graph::version(), and the cache
+  /// drops itself on the next query — no manual invalidation calls to
+  /// forget.  Several trees stay live at once (join/insert/migrate compare
+  /// distances from multiple anchors), hence the per-source cache on top of
+  /// the engine rather than the engine's single reusable tree.
   const graph::ShortestPathTree& paths_from(NodeId from);
-  void invalidate_paths() { path_cache_.clear(); }
 
   Problem p_;
   ServiceForest f_;
+  graph::ShortestPathEngine engine_;
   std::map<NodeId, graph::ShortestPathTree> path_cache_;
+  std::uint64_t cache_version_ = 0;
 };
 
 }  // namespace sofe::core

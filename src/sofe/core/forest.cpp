@@ -4,7 +4,7 @@
 #include <cassert>
 #include <sstream>
 
-#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
 
 namespace sofe::core {
 
@@ -69,6 +69,9 @@ Cost total_cost(const Problem& p, const ServiceForest& f) {
 
 void shorten_pass_through(const Problem& p, ServiceForest& f) {
   Cost best = total_cost(p, f);
+  // One engine for the whole sweep: the per-segment queries below reuse its
+  // workspaces instead of allocating a fresh Dijkstra per essential pair.
+  graph::ShortestPathEngine engine(p.network);
   for (std::size_t wi = 0; wi < f.walks.size(); ++wi) {
     ChainWalk& w = f.walks[wi];
     // Essential positions: walk start, every VNF position, walk end.
@@ -80,7 +83,7 @@ void shorten_pass_through(const Problem& p, ServiceForest& f) {
       const std::size_t a = essential[k];
       const std::size_t b = essential[k + 1];
       if (b <= a + 1) continue;  // nothing between to shorten
-      const auto sp = graph::dijkstra(p.network, w.nodes[a]);
+      const auto& sp = engine.run(w.nodes[a]);
       if (!sp.reachable(w.nodes[b])) continue;
       const auto path = sp.path_to(w.nodes[b]);
       if (path.size() >= b - a + 1) continue;  // not shorter in hops; skip cheap

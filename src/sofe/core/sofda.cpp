@@ -5,7 +5,6 @@
 #include <map>
 #include <set>
 
-#include "sofe/graph/dijkstra.hpp"
 #include "sofe/graph/mst.hpp"
 #include "sofe/steiner/steiner.hpp"
 
@@ -114,7 +113,7 @@ ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats)
   const std::vector<NodeId> vms = p.vms();
   std::vector<NodeId> hubs = vms;
   hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
-  const graph::MetricClosure closure(p.network, hubs);
+  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
 
   // --- Step 1: price candidate service chains for every (source, last VM).
   const auto candidates = price_candidate_chains(p, closure, p.sources, opt);

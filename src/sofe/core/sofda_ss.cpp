@@ -4,7 +4,6 @@
 #include <cassert>
 #include <map>
 
-#include "sofe/graph/dijkstra.hpp"
 #include "sofe/steiner/steiner.hpp"
 
 namespace sofe::core {
@@ -70,7 +69,7 @@ ServiceForest sofda_ss(const Problem& p, NodeId source, const AlgoOptions& opt) 
   // Shared shortest-path trees for the source and all VMs.
   std::vector<NodeId> hubs = vms;
   hubs.push_back(source);
-  const graph::MetricClosure closure(p.network, hubs);
+  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
 
   Cost best_cost = graph::kInfiniteCost;
   for (NodeId u : vms) {

@@ -47,7 +47,7 @@ DistSofdaResult distributed_sofda(const core::Problem& p, int controllers,
   const std::vector<core::NodeId> vms = p.vms();
   std::vector<core::NodeId> hubs = vms;
   hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
-  const graph::MetricClosure closure(p.network, hubs);
+  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
 
   std::vector<std::vector<core::NodeId>> sources_of(static_cast<std::size_t>(k));
   for (core::NodeId s : p.sources) {

@@ -50,14 +50,30 @@ DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus
     }
   }
 
-  // Each controller runs Dijkstra from its border nodes over its own domain.
+  // Materialize each controller's domain as an induced subgraph over local
+  // member indices: one pass over the global edge list, intra-domain edges
+  // only.  The subgraphs own their CSR caches, so every border/attachment
+  // Dijkstra below streams flat per-domain adjacency.
   domains_.resize(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    domains_[static_cast<std::size_t>(d)].subgraph =
+        Graph(static_cast<NodeId>(part.members[static_cast<std::size_t>(d)].size()));
+  }
+  for (const auto& e : g.edges()) {
+    const int du = part.domain_of[static_cast<std::size_t>(e.u)];
+    if (du == part.domain_of[static_cast<std::size_t>(e.v)]) {
+      domains_[static_cast<std::size_t>(du)].subgraph.add_edge(
+          static_cast<NodeId>(local_index(e.u)), static_cast<NodeId>(local_index(e.v)), e.cost);
+    }
+  }
+
+  // Each controller runs Dijkstra from its border nodes over its own domain.
   for (int d = 0; d < k; ++d) {
     auto& dd = domains_[static_cast<std::size_t>(d)];
     const auto& borders = part.borders[static_cast<std::size_t>(d)];
     dd.border_trees.resize(borders.size());
     for (std::size_t bi = 0; bi < borders.size(); ++bi) {
-      local_dijkstra(borders[bi], dd.border_trees[bi].dist, dd.border_trees[bi].parent);
+      local_tree(borders[bi], dd.border_trees[bi]);
     }
   }
 
@@ -106,43 +122,21 @@ DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus
   }
 }
 
-void DistanceOracle::local_dijkstra(NodeId start, std::vector<Cost>& dist,
-                                    std::vector<NodeId>& parent) const {
+void DistanceOracle::local_tree(NodeId start, graph::ShortestPathTree& out) const {
   const int d = part_->domain(start);
-  const auto& mem = part_->members[static_cast<std::size_t>(d)];
-  dist.assign(mem.size(), graph::kInfiniteCost);
-  parent.assign(mem.size(), graph::kInvalidNode);
-  MinHeap pq;
-  dist[static_cast<std::size_t>(local_index(start))] = 0.0;
-  pq.emplace(0.0, local_index(start));
-  while (!pq.empty()) {
-    const auto [dv, li] = pq.top();
-    pq.pop();
-    if (dv > dist[static_cast<std::size_t>(li)]) continue;
-    const NodeId v = mem[static_cast<std::size_t>(li)];
-    for (const auto& arc : g_->neighbors(v)) {
-      if (part_->domain(arc.to) != d) continue;  // stay inside the domain
-      const int lw = local_index(arc.to);
-      const Cost nd = dv + g_->edge(arc.edge).cost;
-      if (nd < dist[static_cast<std::size_t>(lw)]) {
-        dist[static_cast<std::size_t>(lw)] = nd;
-        parent[static_cast<std::size_t>(lw)] = v;
-        pq.emplace(nd, lw);
-      }
-    }
-  }
+  engine_.attach(domains_[static_cast<std::size_t>(d)].subgraph);
+  engine_.run_into(static_cast<NodeId>(local_index(start)), out);
 }
 
-const DistanceOracle::LocalTree& DistanceOracle::attachment_tree(NodeId v) const {
+const graph::ShortestPathTree& DistanceOracle::attachment_tree(NodeId v) const {
   if (const int bp = border_pos_[static_cast<std::size_t>(v)]; bp >= 0) {
     return domains_[static_cast<std::size_t>(part_->domain(v))]
         .border_trees[static_cast<std::size_t>(bp)];
   }
   auto it = attach_cache_.find(v);
   if (it == attach_cache_.end()) {
-    LocalTree t;
-    local_dijkstra(v, t.dist, t.parent);
-    it = attach_cache_.emplace(v, std::move(t)).first;
+    it = attach_cache_.emplace(v, graph::ShortestPathTree{}).first;
+    local_tree(v, it->second);
   }
   return it->second;
 }
@@ -166,13 +160,12 @@ DistanceOracle::QueryResult DistanceOracle::query(NodeId x, NodeId y, bool want_
   }
 
   // Endpoint attachment trees (border endpoints reuse the constructor's
-  // trees; others are memoized across queries).
-  const LocalTree& tx = attachment_tree(x);
-  const LocalTree& ty = attachment_tree(y);
+  // trees; others are memoized across queries).  dist/parent are indexed by
+  // local member index; parents are local indices within the domain.
+  const graph::ShortestPathTree& tx = attachment_tree(x);
+  const graph::ShortestPathTree& ty = attachment_tree(y);
   const std::vector<Cost>& dist_x = tx.dist;
-  const std::vector<NodeId>& par_x = tx.parent;
   const std::vector<Cost>& dist_y = ty.dist;
-  const std::vector<NodeId>& par_y = ty.parent;
 
   // Query graph: the prebuilt overlay (reused as-is) plus two virtual
   // endpoints.  The only per-query arcs are the endpoint attachments.
@@ -248,13 +241,17 @@ DistanceOracle::QueryResult DistanceOracle::query(NodeId x, NodeId y, bool want_
   }
   std::reverse(hops.begin(), hops.end());
 
-  // Chain walkers: parent pointers aim at the Dijkstra source, so a chain
-  // from `v` yields v..source; reverse it for source..v segments.
-  const auto chain = [&](NodeId from_node, const std::vector<NodeId>& par) {
+  // Chain walkers: tree parents aim at the Dijkstra source and are LOCAL
+  // member indices, so a chain from `v` walks local parents and maps each
+  // step back to global ids via the domain's member list; the result is
+  // v..source order — reverse it for source..v segments.  `from_node` lives
+  // in the same domain as the tree at every call site.
+  const auto chain = [&](NodeId from_node, const graph::ShortestPathTree& t) {
+    const auto& mem = part_->members[static_cast<std::size_t>(part_->domain(from_node))];
     std::vector<NodeId> seg;
-    for (NodeId v = from_node; v != graph::kInvalidNode;
-         v = par[static_cast<std::size_t>(local_index(v))]) {
-      seg.push_back(v);
+    for (NodeId v = static_cast<NodeId>(local_index(from_node)); v != graph::kInvalidNode;
+         v = t.parent[static_cast<std::size_t>(v)]) {
+      seg.push_back(mem[static_cast<std::size_t>(v)]);
     }
     return seg;
   };
@@ -265,11 +262,11 @@ DistanceOracle::QueryResult DistanceOracle::query(NodeId x, NodeId y, bool want_
     std::vector<NodeId> seg;
     if (from == qx) {
       // x -> border or x -> y attachment: walk back to x, reverse.
-      seg = chain(x_arcs[static_cast<std::size_t>(ai)].head, par_x);
+      seg = chain(x_arcs[static_cast<std::size_t>(ai)].head, tx);
       std::reverse(seg.begin(), seg.end());
     } else if (ai < 0) {
-      // border -> y attachment: y's parent pointers already aim at y.
-      seg = chain(overlay_nodes_[static_cast<std::size_t>(from)], par_y);
+      // border -> y attachment: y's tree parents already aim at y.
+      seg = chain(overlay_nodes_[static_cast<std::size_t>(from)], ty);
     } else {
       const OverlayArc& oa = overlay_adj_[static_cast<std::size_t>(from)]
                                          [static_cast<std::size_t>(ai)];
@@ -278,8 +275,7 @@ DistanceOracle::QueryResult DistanceOracle::query(NodeId x, NodeId y, bool want_
       } else {
         // Intra-domain border-to-border segment from the advertised tree.
         seg = chain(oa.head, domains_[static_cast<std::size_t>(oa.domain)]
-                                 .border_trees[static_cast<std::size_t>(oa.src_border)]
-                                 .parent);
+                                 .border_trees[static_cast<std::size_t>(oa.src_border)]);
         std::reverse(seg.begin(), seg.end());
       }
     }

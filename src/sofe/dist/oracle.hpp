@@ -30,6 +30,7 @@
 #include "sofe/dist/message_bus.hpp"
 #include "sofe/dist/partition.hpp"
 #include "sofe/graph/graph.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
 
 namespace sofe::dist {
 
@@ -64,23 +65,19 @@ class DistanceOracle {
     NodeId tail, head;
   };
 
-  /// One domain-restricted Dijkstra tree: distance and (global-id) parent
-  /// arrays over the domain's members, indexed by local member index.
-  struct LocalTree {
-    std::vector<Cost> dist;
-    std::vector<NodeId> parent;
-  };
-
   struct DomainData {
-    // Per border node (indexed as in part.borders[d]): the tree from that
-    // border over the domain's induced subgraph.
-    std::vector<LocalTree> border_trees;
+    // The domain's induced subgraph over local member indices (the graph a
+    // controller actually owns); arc costs copied from the global graph.
+    Graph subgraph;
+    // Per border node (indexed as in part.borders[d]): the shortest-path
+    // tree from that border over `subgraph`.  dist/parent are indexed by
+    // local member index and parents are local indices too.
+    std::vector<graph::ShortestPathTree> border_trees;
   };
 
-  /// Dijkstra from `start`, restricted to the induced subgraph of the
-  /// domain `start` belongs to.  Outputs are indexed by local member index.
-  void local_dijkstra(NodeId start, std::vector<Cost>& dist,
-                      std::vector<NodeId>& parent) const;
+  /// Engine-backed Dijkstra from `start` over its domain's subgraph,
+  /// written into `out` (local indices throughout).
+  void local_tree(NodeId start, graph::ShortestPathTree& out) const;
 
   struct QueryResult {
     Cost dist = graph::kInfiniteCost;
@@ -92,7 +89,7 @@ class DistanceOracle {
   /// nodes reuse the constructor's trees; other endpoints are solved once
   /// and memoized (graph and partition are fixed for the oracle's
   /// lifetime).  Not thread-safe, like the query path's bus accounting.
-  const LocalTree& attachment_tree(NodeId v) const;
+  const graph::ShortestPathTree& attachment_tree(NodeId v) const;
 
   int local_index(NodeId v) const { return local_index_[static_cast<std::size_t>(v)]; }
 
@@ -106,7 +103,10 @@ class DistanceOracle {
   std::vector<NodeId> overlay_nodes_;  // overlay index -> node
   std::vector<std::vector<OverlayArc>> overlay_adj_;
   std::vector<DomainData> domains_;
-  mutable std::unordered_map<NodeId, LocalTree> attach_cache_;  // non-border endpoints
+  // Shared across all per-domain runs (construction and queries): rebound to
+  // the relevant domain subgraph per call, workspaces reused throughout.
+  mutable graph::ShortestPathEngine engine_;
+  mutable std::unordered_map<NodeId, graph::ShortestPathTree> attach_cache_;
 };
 
 }  // namespace sofe::dist

@@ -2,24 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+
+#include "sofe/graph/shortest_path_engine.hpp"
 
 namespace sofe::graph {
-
-namespace {
-
-struct HeapItem {
-  Cost dist;
-  NodeId node;
-  bool operator>(const HeapItem& o) const noexcept {
-    if (dist != o.dist) return dist > o.dist;
-    return node > o.node;  // deterministic tie-break
-  }
-};
-
-using MinHeap = std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>>;
-
-}  // namespace
 
 std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
   assert(reachable(target));
@@ -32,74 +18,20 @@ std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
   return path;
 }
 
-ShortestPathTree dijkstra(const Graph& g, NodeId source) {
-  assert(g.valid_node(source));
-  const auto n = static_cast<std::size_t>(g.node_count());
-  ShortestPathTree t;
-  t.source = source;
-  t.dist.assign(n, kInfiniteCost);
-  t.parent.assign(n, kInvalidNode);
-  t.parent_edge.assign(n, kInvalidEdge);
+// The free functions are one-shot conveniences (tests, oracles, small
+// callers); hot paths hold a ShortestPathEngine and amortize its workspaces
+// across queries instead.
 
-  MinHeap heap;
-  t.dist[static_cast<std::size_t>(source)] = 0.0;
-  heap.push({0.0, source});
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > t.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
-    for (const Arc& a : g.neighbors(u)) {
-      const Cost nd = d + g.edge(a.edge).cost;
-      auto& dv = t.dist[static_cast<std::size_t>(a.to)];
-      if (nd < dv) {
-        dv = nd;
-        t.parent[static_cast<std::size_t>(a.to)] = u;
-        t.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
-        heap.push({nd, a.to});
-      }
-    }
-  }
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  ShortestPathEngine engine(g);
+  ShortestPathTree t;
+  engine.run_into(source, t);
   return t;
 }
 
 VoronoiPartition multi_source_dijkstra(const Graph& g, const std::vector<NodeId>& sources) {
-  const auto n = static_cast<std::size_t>(g.node_count());
-  VoronoiPartition p;
-  p.dist.assign(n, kInfiniteCost);
-  p.owner.assign(n, kInvalidNode);
-  p.parent.assign(n, kInvalidNode);
-  p.parent_edge.assign(n, kInvalidEdge);
-
-  MinHeap heap;
-  // Seed in ascending id order so equal-distance ties resolve to the smaller
-  // source id regardless of the order in `sources`.
-  std::vector<NodeId> seeds = sources;
-  std::sort(seeds.begin(), seeds.end());
-  for (NodeId s : seeds) {
-    assert(g.valid_node(s));
-    auto& d = p.dist[static_cast<std::size_t>(s)];
-    if (d == 0.0) continue;  // duplicate seed
-    d = 0.0;
-    p.owner[static_cast<std::size_t>(s)] = s;
-    heap.push({0.0, s});
-  }
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > p.dist[static_cast<std::size_t>(u)]) continue;
-    for (const Arc& a : g.neighbors(u)) {
-      const Cost nd = d + g.edge(a.edge).cost;
-      auto& dv = p.dist[static_cast<std::size_t>(a.to)];
-      if (nd < dv) {
-        dv = nd;
-        p.owner[static_cast<std::size_t>(a.to)] = p.owner[static_cast<std::size_t>(u)];
-        p.parent[static_cast<std::size_t>(a.to)] = u;
-        p.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
-        heap.push({nd, a.to});
-      }
-    }
-  }
-  return p;
+  ShortestPathEngine engine(g);
+  return engine.run_multi(sources);  // copies the engine-owned partition out
 }
 
 }  // namespace sofe::graph

@@ -1,9 +1,13 @@
 #pragma once
-// Single-source shortest paths (binary-heap Dijkstra) and path extraction.
+// Shortest-path result types and one-shot Dijkstra conveniences.
 //
 // Dijkstra underlies nearly everything in this library: the Procedure-1
 // metric instance, the KMB/Mehlhorn Steiner algorithms, walk lifting, and the
-// exact layered-graph solver all consume `ShortestPathTree`s.
+// exact layered-graph solver all consume `ShortestPathTree`s.  The free
+// functions below run one query with throwaway workspaces; repeated queries
+// go through graph::ShortestPathEngine (shortest_path_engine.hpp), which
+// reuses its workspaces and the graph's CSR adjacency so the hot paths do no
+// per-query allocation.  Both produce bit-identical trees.
 
 #include <vector>
 
@@ -23,7 +27,7 @@ struct ShortestPathTree {
   Cost distance(NodeId v) const { return dist[static_cast<std::size_t>(v)]; }
 
   /// Reconstructs the node sequence source -> ... -> target.
-  /// Requires reachable(target).
+  /// Requires reachable(target) (asserted).  path_to(source) == {source}.
   std::vector<NodeId> path_to(NodeId target) const;
 };
 
@@ -32,7 +36,15 @@ ShortestPathTree dijkstra(const Graph& g, NodeId source);
 
 /// Multi-source Dijkstra: distance to the nearest of `sources`, with
 /// `owner[v]` identifying which source claimed v (Mehlhorn's Voronoi
-/// partition).  Ties break toward the smaller source id, deterministically.
+/// partition).  Labels are ordered lexicographically by (distance, owner),
+/// so an equal-distance node deterministically goes to the smallest owner
+/// among the labels that reach it — not a heuristic of visit order
+/// (tested).  With strictly positive costs this IS the smallest source id
+/// at minimum distance.  A source always owns itself, even when a
+/// zero-cost path from a smaller source reaches it (every source keeps a
+/// non-empty cell — Mehlhorn requires it); since labels never propagate
+/// through the protected source, nodes it alone reaches keep its id even
+/// if a smaller source ties through that zero-cost path.
 struct VoronoiPartition {
   std::vector<Cost> dist;
   std::vector<NodeId> owner;

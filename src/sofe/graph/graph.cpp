@@ -1,0 +1,44 @@
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::graph {
+
+void Graph::rebuild_csr() const {
+  CsrView& v = csr_.view;
+  const auto n = static_cast<std::size_t>(node_count());
+  const std::size_t m2 = 2 * static_cast<std::size_t>(edge_count());
+
+  v.offsets.assign(n + 1, 0);
+  v.arcs.resize(m2);
+
+  // Counting sort over endpoints.  Arc order within a node matches the
+  // insertion order of `adj_` (edges are scanned in id order and each edge
+  // appends one arc per endpoint), so CSR and `neighbors()` agree on
+  // iteration order — and so do the relaxation orders of the engine and the
+  // historical adjacency-list Dijkstra, keeping their trees bit-identical.
+  for (const Edge& e : edges_) {
+    ++v.offsets[static_cast<std::size_t>(e.u) + 1];
+    ++v.offsets[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) v.offsets[i] += v.offsets[i - 1];
+
+  std::vector<std::int32_t> cursor(v.offsets.begin(), v.offsets.end() - 1);
+  for (EdgeId id = 0; id < edge_count(); ++id) {
+    const Edge& e = edges_[static_cast<std::size_t>(id)];
+    const auto cu = static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++);
+    v.arcs[cu] = CsrArc{e.cost, e.v, id};
+    const auto cv = static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++);
+    v.arcs[cv] = CsrArc{e.cost, e.u, id};
+  }
+
+  csr_.structure_valid = true;
+  csr_.costs_valid = true;
+}
+
+void Graph::refresh_csr_costs() const {
+  for (CsrArc& a : csr_.view.arcs) {
+    a.cost = edges_[static_cast<std::size_t>(a.edge)].cost;
+  }
+  csr_.costs_valid = true;
+}
+
+}  // namespace sofe::graph

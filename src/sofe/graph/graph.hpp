@@ -45,6 +45,34 @@ struct Arc {
   EdgeId edge = kInvalidEdge;
 };
 
+/// One CSR adjacency entry: head node, edge id and the edge's cost packed
+/// into 16 bytes, so a relaxation reads one cache line per few arcs and
+/// never touches the Edge array.
+struct CsrArc {
+  Cost cost = 0.0;
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+};
+
+/// Flat compressed-sparse-row adjacency snapshot (see DESIGN.md §2).
+///
+/// The arcs of node v live contiguously at [offsets[v], offsets[v+1]) in
+/// `arcs`, in the same order `neighbors(v)` reports them.  Built lazily by
+/// `Graph::csr()` and cached; structural mutations (add_node/add_edge) force
+/// a full rebuild, cost mutations (set_edge_cost) only refresh the stored
+/// costs in one O(E) sweep.
+struct CsrView {
+  std::vector<std::int32_t> offsets;  // size node_count()+1
+  std::vector<CsrArc> arcs;           // size 2*edge_count()
+
+  std::int32_t begin(NodeId v) const noexcept {
+    return offsets[static_cast<std::size_t>(v)];
+  }
+  std::int32_t end(NodeId v) const noexcept {
+    return offsets[static_cast<std::size_t>(v) + 1];
+  }
+};
+
 /// Weighted undirected multigraph with O(1) node/edge addition and
 /// contiguous adjacency storage.
 class Graph {
@@ -60,6 +88,8 @@ class Graph {
   /// Appends an isolated node and returns its id.
   NodeId add_node() {
     adj_.emplace_back();
+    ++version_;
+    csr_.structure_valid = false;
     return node_count() - 1;
   }
 
@@ -72,6 +102,8 @@ class Graph {
     edges_.push_back(Edge{u, v, cost});
     adj_[static_cast<std::size_t>(u)].push_back(Arc{v, id});
     adj_[static_cast<std::size_t>(v)].push_back(Arc{u, id});
+    ++version_;
+    csr_.structure_valid = false;
     return id;
   }
 
@@ -81,10 +113,30 @@ class Graph {
   }
 
   /// Mutable edge cost (used by the online simulator when loads change).
+  /// O(1): the CSR cache is refreshed lazily on the next `csr()` call.
   void set_edge_cost(EdgeId e, Cost cost) {
     assert(valid_edge(e));
     assert(cost >= 0.0);
     edges_[static_cast<std::size_t>(e)].cost = cost;
+    ++version_;
+    csr_.costs_valid = false;
+  }
+
+  /// Monotone mutation counter: bumped by add_node/add_edge/set_edge_cost.
+  /// Callers that cache derived structures (shortest-path trees, closures)
+  /// key their invalidation on it.
+  std::uint64_t version() const noexcept { return version_; }
+
+  /// The CSR adjacency snapshot, (re)built lazily.  NOT thread-safe on a
+  /// cache miss: call once before sharing the graph across reader threads
+  /// (MetricClosure does this before spawning workers).
+  const CsrView& csr() const {
+    if (!csr_.structure_valid) {
+      rebuild_csr();
+    } else if (!csr_.costs_valid) {
+      refresh_csr_costs();
+    }
+    return csr_.view;
   }
 
   std::span<const Arc> neighbors(NodeId v) const {
@@ -125,8 +177,44 @@ class Graph {
   }
 
  private:
+  /// CSR cache.  Copying a Graph deliberately drops the cache (copies are
+  /// usually mutated immediately — SOFDA's auxiliary graph, the online
+  /// simulator's per-request problem — so carrying a stale snapshot would
+  /// only waste memory); moves keep it.
+  struct CsrCache {
+    CsrView view;
+    bool structure_valid = false;
+    bool costs_valid = false;
+
+    CsrCache() = default;
+    CsrCache(const CsrCache&) noexcept {}
+    CsrCache& operator=(const CsrCache&) noexcept {
+      view = CsrView{};
+      structure_valid = costs_valid = false;
+      return *this;
+    }
+    CsrCache(CsrCache&& o) noexcept
+        : view(std::move(o.view)),
+          structure_valid(o.structure_valid),
+          costs_valid(o.costs_valid) {
+      o.structure_valid = o.costs_valid = false;
+    }
+    CsrCache& operator=(CsrCache&& o) noexcept {
+      view = std::move(o.view);
+      structure_valid = o.structure_valid;
+      costs_valid = o.costs_valid;
+      o.structure_valid = o.costs_valid = false;
+      return *this;
+    }
+  };
+
+  void rebuild_csr() const;
+  void refresh_csr_costs() const;
+
   std::vector<Edge> edges_;
   std::vector<std::vector<Arc>> adj_;
+  std::uint64_t version_ = 0;
+  mutable CsrCache csr_;
 };
 
 }  // namespace sofe::graph

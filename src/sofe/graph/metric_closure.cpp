@@ -1,13 +1,134 @@
 #include "sofe/graph/metric_closure.hpp"
 
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+
+#include "sofe/graph/shortest_path_engine.hpp"
+
 namespace sofe::graph {
 
-MetricClosure::MetricClosure(const Graph& g, const std::vector<NodeId>& hubs) {
-  trees_.reserve(hubs.size());
+namespace {
+
+/// The single zero-cost arc of a degree-1 hub, or kInvalidEdge.
+/// Such a "tap" hub shares all shortest paths with the arc's head.
+Arc zero_cost_tap(const Graph& g, NodeId v) {
+  const auto arcs = g.neighbors(v);
+  if (arcs.size() == 1 && g.edge(arcs[0].edge).cost == 0.0) return arcs[0];
+  return Arc{};
+}
+
+/// Derives the tree a full Dijkstra from tap hub `v` would produce, given
+/// the tree of its host `h` (reached via zero-cost edge `e`).
+///
+/// Why this is exact, bit for bit: every path out of v is v -e-> h -> ...,
+/// and e costs zero, so 0.0 + d == d leaves every label, comparison and
+/// settle-order key of the host's run unchanged.  The only differences in
+/// the resulting tree are at the two endpoints of e: v becomes the root
+/// (no parent) and h hangs off v through e.
+void derive_tap_tree(const ShortestPathTree& host_tree, NodeId v, NodeId h, EdgeId e,
+                     ShortestPathTree& out) {
+  out = host_tree;
+  out.source = v;
+  out.parent[static_cast<std::size_t>(v)] = kInvalidNode;
+  out.parent_edge[static_cast<std::size_t>(v)] = kInvalidEdge;
+  out.parent[static_cast<std::size_t>(h)] = v;
+  out.parent_edge[static_cast<std::size_t>(h)] = e;
+}
+
+}  // namespace
+
+MetricClosure::MetricClosure(const Graph& g, const std::vector<NodeId>& hubs, int num_threads) {
+  // Dedupe in first-seen order; every unique hub gets a preassigned tree
+  // slot, so the parallel build below writes disjoint, fixed locations.
+  std::vector<NodeId> unique_hubs;
+  unique_hubs.reserve(hubs.size());
   for (NodeId h : hubs) {
     if (tree_index_.contains(h)) continue;
-    tree_index_.emplace(h, trees_.size());
-    trees_.push_back(dijkstra(g, h));
+    tree_index_.emplace(h, unique_hubs.size());
+    unique_hubs.push_back(h);
+  }
+  trees_.resize(unique_hubs.size());
+
+  // Classify hubs: a zero-cost degree-1 tap is derived from its host's tree
+  // instead of running its own Dijkstra — unless the host is itself a tap
+  // hub (two taps joined by one zero-cost edge), where both run fully.
+  struct Tap {
+    NodeId host = kInvalidNode;
+    EdgeId edge = kInvalidEdge;
+  };
+  std::vector<Tap> taps(unique_hubs.size());
+  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
+    const Arc a = zero_cost_tap(g, unique_hubs[i]);
+    if (a.edge != kInvalidEdge) taps[i] = Tap{a.to, a.edge};
+  }
+  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
+    if (taps[i].host == kInvalidNode) continue;
+    const auto it = tree_index_.find(taps[i].host);
+    if (it != tree_index_.end() && taps[it->second].host != kInvalidNode) {
+      taps[i] = Tap{};  // host is itself a tap hub; run this one fully
+    }
+  }
+
+  // The full-run worklist: every non-tap hub (into its slot) plus every
+  // distinct tap host that is not already a hub (into side storage).
+  struct Run {
+    NodeId root = kInvalidNode;
+    ShortestPathTree* out = nullptr;
+  };
+  std::vector<Run> runs;
+  std::unordered_map<NodeId, std::size_t> extra_index;  // non-hub host -> slot
+  std::vector<ShortestPathTree> extra_trees;
+  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
+    if (taps[i].host == kInvalidNode) runs.push_back(Run{unique_hubs[i], &trees_[i]});
+  }
+  for (const Tap& t : taps) {
+    if (t.host == kInvalidNode || tree_index_.contains(t.host)) continue;
+    if (extra_index.emplace(t.host, extra_trees.size()).second) {
+      extra_trees.emplace_back();
+    }
+  }
+  // extra_trees no longer grows; pointers into it are stable from here on.
+  runs.reserve(runs.size() + extra_trees.size());
+  std::vector<bool> scheduled(extra_trees.size(), false);
+  for (const Tap& t : taps) {  // first-seen host order
+    if (t.host == kInvalidNode) continue;
+    const auto it = extra_index.find(t.host);
+    if (it == extra_index.end() || scheduled[it->second]) continue;
+    scheduled[it->second] = true;
+    runs.push_back(Run{t.host, &extra_trees[it->second]});
+  }
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(num_threads, 1)), std::max<std::size_t>(runs.size(), 1));
+  if (workers <= 1) {
+    ShortestPathEngine engine(g);
+    for (const Run& r : runs) engine.run_into(r.root, *r.out);
+  } else {
+    // Prebuild the CSR before sharing the graph across threads (the lazy
+    // csr() rebuild is not thread-safe on a cache miss).
+    (void)g.csr();
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        ShortestPathEngine engine(g);
+        for (std::size_t i = w; i < runs.size(); i += workers) {
+          engine.run_into(runs[i].root, *runs[i].out);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Derive every tap hub from its host's finished tree (memcpy-bound).
+  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
+    const Tap& t = taps[i];
+    if (t.host == kInvalidNode) continue;
+    const auto it = tree_index_.find(t.host);
+    const ShortestPathTree& host_tree =
+        it != tree_index_.end() ? trees_[it->second] : extra_trees[extra_index.at(t.host)];
+    derive_tap_tree(host_tree, unique_hubs[i], t.host, t.edge, trees_[i]);
   }
 }
 

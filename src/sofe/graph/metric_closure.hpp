@@ -18,8 +18,28 @@ namespace sofe::graph {
 
 class MetricClosure {
  public:
-  /// Runs Dijkstra from every node in `hubs` (duplicates tolerated).
-  MetricClosure(const Graph& g, const std::vector<NodeId>& hubs);
+  /// Builds the shortest-path tree of every node in `hubs` (duplicates
+  /// tolerated) through a ShortestPathEngine over the graph's CSR view.
+  ///
+  /// Tap-hub derivation: a hub attached to the rest of the graph by a
+  /// single zero-cost edge — the library's canonical VM tap
+  /// (topology::make_problem, the online simulator) — shares every shortest
+  /// path with its attachment host, so its tree is derived from the host's
+  /// tree in one O(V) copy plus two parent fixups instead of a full
+  /// Dijkstra.  The derived tree is bit-identical to what the full run
+  /// produces (tested): with a zero-cost tap, label arithmetic, settle
+  /// order and every relaxation outcome coincide.  A SOFDA-style hub set
+  /// (many VMs per data center plus sources) therefore costs one Dijkstra
+  /// per *distinct host* rather than one per VM.
+  ///
+  /// `num_threads` > 1 runs the full (non-derived) trees in parallel: the
+  /// CSR is prebuilt once, roots are striped over workers in a fixed
+  /// assignment, and each worker runs its own engine into preassigned
+  /// slots — so the result is bit-identical to the single-threaded build
+  /// for any thread count (tested).  Values < 1 are clamped to 1; the
+  /// thread count is a knob on AlgoOptions (closure_threads) for the
+  /// solver layers.
+  MetricClosure(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1);
 
   /// Shortest-path distance from hub `from` to any node `to`.
   /// Requires `from` to be a hub.

@@ -1,0 +1,198 @@
+#include "sofe/graph/shortest_path_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sofe::graph {
+
+namespace {
+
+// Binary min-heap with lazy deletion over a reusable buffer (capacity
+// persists across runs).  Lazy deletion beats an indexed decrease-key heap
+// here: the position array's random writes on every sift cost more than the
+// stale pops save (measured on Inet-scale closures).  Pop order is the
+// minimum of a TOTAL order (ties broken by node / owner / node), so any
+// correct heap yields the same settle sequence — trees are bit-identical to
+// the historical priority_queue implementation.
+
+template <typename Item>
+inline void heap_push(std::vector<Item>& h, Item item) {
+  h.push_back(item);
+  std::push_heap(h.begin(), h.end(), std::greater<>{});
+}
+
+template <typename Item>
+inline Item heap_pop(std::vector<Item>& h) {
+  std::pop_heap(h.begin(), h.end(), std::greater<>{});
+  const Item top = h.back();
+  h.pop_back();
+  return top;
+}
+
+}  // namespace
+
+void ShortestPathEngine::reset_tree(std::size_t n) {
+  if (tree_.dist.size() != n) {
+    tree_.dist.assign(n, kInfiniteCost);
+    tree_.parent.assign(n, kInvalidNode);
+    tree_.parent_edge.assign(n, kInvalidEdge);
+  } else {
+    for (NodeId v : tree_touched_) {
+      const auto i = static_cast<std::size_t>(v);
+      tree_.dist[i] = kInfiniteCost;
+      tree_.parent[i] = kInvalidNode;
+      tree_.parent_edge[i] = kInvalidEdge;
+    }
+  }
+  tree_touched_.clear();
+}
+
+void ShortestPathEngine::reset_voronoi(std::size_t n) {
+  if (vor_.dist.size() != n) {
+    vor_.dist.assign(n, kInfiniteCost);
+    vor_.owner.assign(n, kInvalidNode);
+    vor_.parent.assign(n, kInvalidNode);
+    vor_.parent_edge.assign(n, kInvalidEdge);
+  } else {
+    for (NodeId v : vor_touched_) {
+      const auto i = static_cast<std::size_t>(v);
+      vor_.dist[i] = kInfiniteCost;
+      vor_.owner[i] = kInvalidNode;
+      vor_.parent[i] = kInvalidNode;
+      vor_.parent_edge[i] = kInvalidEdge;
+    }
+  }
+  vor_touched_.clear();
+}
+
+const ShortestPathTree& ShortestPathEngine::run_impl(NodeId source, NodeId target, Cost limit) {
+  assert(g_ != nullptr && "engine is not attached to a graph");
+  assert(g_->valid_node(source));
+  const CsrView& csr = g_->csr();
+  const auto n = static_cast<std::size_t>(g_->node_count());
+  reset_tree(n);
+
+  tree_.source = source;
+  tree_.dist[static_cast<std::size_t>(source)] = 0.0;
+  tree_touched_.push_back(source);
+
+  heap_.clear();
+  heap_.push_back(HeapItem{0.0, source});
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_pop(heap_);
+    if (d > tree_.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    if (u == target) break;
+    if (d > limit) break;
+    const std::int32_t hi = csr.end(u);
+    for (std::int32_t i = csr.begin(u); i < hi; ++i) {
+      const CsrArc& a = csr.arcs[static_cast<std::size_t>(i)];
+      const Cost nd = d + a.cost;
+      auto& dv = tree_.dist[static_cast<std::size_t>(a.to)];
+      if (nd < dv) {
+        if (dv == kInfiniteCost) tree_touched_.push_back(a.to);
+        dv = nd;
+        tree_.parent[static_cast<std::size_t>(a.to)] = u;
+        tree_.parent_edge[static_cast<std::size_t>(a.to)] = a.edge;
+        heap_push(heap_, HeapItem{nd, a.to});
+      }
+    }
+  }
+  return tree_;
+}
+
+void ShortestPathEngine::run_into(NodeId source, ShortestPathTree& out) {
+  assert(g_ != nullptr && "engine is not attached to a graph");
+  assert(g_->valid_node(source));
+  const CsrView& csr = g_->csr();
+  const auto n = static_cast<std::size_t>(g_->node_count());
+
+  labels_.assign(n, Label{kInfiniteCost, kInvalidNode, kInvalidEdge});
+  labels_[static_cast<std::size_t>(source)].dist = 0.0;
+
+  heap_.clear();
+  heap_.push_back(HeapItem{0.0, source});
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_pop(heap_);
+    if (d > labels_[static_cast<std::size_t>(u)].dist) continue;  // stale entry
+    const std::int32_t hi = csr.end(u);
+    for (std::int32_t i = csr.begin(u); i < hi; ++i) {
+      const CsrArc& a = csr.arcs[static_cast<std::size_t>(i)];
+      const Cost nd = d + a.cost;
+      Label& lv = labels_[static_cast<std::size_t>(a.to)];
+      if (nd < lv.dist) {
+        lv = Label{nd, u, a.edge};
+        heap_push(heap_, HeapItem{nd, a.to});
+      }
+    }
+  }
+
+  // Unpack the packed labels into the tree layout in one sequential sweep.
+  out.source = source;
+  out.dist.resize(n);
+  out.parent.resize(n);
+  out.parent_edge.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.dist[i] = labels_[i].dist;
+    out.parent[i] = labels_[i].parent;
+    out.parent_edge[i] = labels_[i].parent_edge;
+  }
+}
+
+const VoronoiPartition& ShortestPathEngine::run_multi(std::span<const NodeId> sources) {
+  assert(g_ != nullptr && "engine is not attached to a graph");
+  const CsrView& csr = g_->csr();
+  const auto n = static_cast<std::size_t>(g_->node_count());
+  reset_voronoi(n);
+
+  // Seed in ascending id order (duplicates skipped).  With the
+  // (dist, owner, node) label order this is cosmetic — ownership of ties is
+  // decided by the lexicographic relaxation below, not by seed order — but
+  // it keeps the initial heap layout canonical.
+  seeds_.assign(sources.begin(), sources.end());
+  std::sort(seeds_.begin(), seeds_.end());
+  multi_heap_.clear();
+  for (NodeId s : seeds_) {
+    assert(g_->valid_node(s));
+    auto& d = vor_.dist[static_cast<std::size_t>(s)];
+    if (d == 0.0) continue;  // duplicate seed
+    d = 0.0;
+    vor_.owner[static_cast<std::size_t>(s)] = s;
+    vor_touched_.push_back(s);
+    heap_push(multi_heap_, MultiHeapItem{0.0, s, s});
+  }
+
+  // Lexicographic Dijkstra on labels (dist, owner): a node's settled label
+  // is min over sources s of (d(s, v), s), i.e. the nearest source with the
+  // smallest id among equals.  Standard Dijkstra finality holds because edge
+  // relaxation is monotone in the label order (nonnegative cost added to
+  // dist, owner carried through), so owners never change after settling and
+  // parent chains stay within one Voronoi cell.
+  while (!multi_heap_.empty()) {
+    const auto [d, o, u] = heap_pop(multi_heap_);
+    const auto ui = static_cast<std::size_t>(u);
+    if (d > vor_.dist[ui] || (d == vor_.dist[ui] && o > vor_.owner[ui])) continue;  // stale
+    const std::int32_t hi = csr.end(u);
+    for (std::int32_t i = csr.begin(u); i < hi; ++i) {
+      const CsrArc& a = csr.arcs[static_cast<std::size_t>(i)];
+      const Cost nd = d + a.cost;
+      const auto ti = static_cast<std::size_t>(a.to);
+      // The tie branch never re-owns a seed (owner == self): every source
+      // must keep its own Voronoi cell even when a zero-cost path from a
+      // smaller source reaches it at distance 0 — Mehlhorn's bridge MST
+      // needs all |T| cells non-empty, and the library's VM-tap and
+      // auxiliary-graph constructions make zero-cost edges routine.
+      if (nd < vor_.dist[ti] ||
+          (nd == vor_.dist[ti] && o < vor_.owner[ti] && vor_.owner[ti] != a.to)) {
+        if (vor_.dist[ti] == kInfiniteCost) vor_touched_.push_back(a.to);
+        vor_.dist[ti] = nd;
+        vor_.owner[ti] = o;
+        vor_.parent[ti] = u;
+        vor_.parent_edge[ti] = a.edge;
+        heap_push(multi_heap_, MultiHeapItem{nd, o, a.to});
+      }
+    }
+  }
+  return vor_;
+}
+
+}  // namespace sofe::graph

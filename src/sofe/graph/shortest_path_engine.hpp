@@ -1,0 +1,140 @@
+#pragma once
+// Reusable shortest-path engine over the CSR adjacency view (DESIGN.md §2).
+//
+// Every solver layer in this library — Procedure-1 metric instances,
+// KMB/Mehlhorn Steiner, SOFDA pricing, the distributed distance oracle, the
+// dynamic-forest operations — bottoms out in Dijkstra.  The free functions in
+// dijkstra.hpp allocate three O(V) arrays plus a heap per call; on the hot
+// paths (metric closures over dozens of hubs, per-segment shortening sweeps,
+// online arrival streams) that allocation dominates.  The engine owns the
+// workspaces once and reuses them across queries:
+//
+//   * result arrays are reset via a touched-node list, so a bounded or
+//     targeted query that settles k nodes costs O(k log k), not O(V);
+//   * the binary heap keeps its capacity between runs — zero allocation at
+//     steady state;
+//   * adjacency is streamed from Graph::csr(): three parallel flat arrays
+//     instead of the Arc -> edges_ pointer chase.
+//
+// Workspace-reuse contract: `run`, `run_to`, `run_bounded` and `run_multi`
+// return references to engine-owned storage that the NEXT run_* call
+// overwrites.  Copy what must outlive the next query, or use `run_into`,
+// which writes a standalone tree directly into caller storage (this is what
+// MetricClosure stores).  One engine serves one thread; parallel callers use
+// one engine each over a shared, prebuilt CSR (see MetricClosure).
+//
+// Determinism: identical inputs produce identical trees, bit for bit.
+// Single-source runs break heap ties on node id exactly like the historical
+// free-function Dijkstra.  Multi-source runs order labels lexicographically
+// by (distance, owner, node): an equal-distance node goes to the smallest
+// owner among the labels that reach it — the deterministic Voronoi
+// tie-break the Mehlhorn construction and its tests rely on.  A source
+// always keeps its own cell, even when a zero-cost path from a smaller
+// source reaches it; consequently a smaller source's label does not
+// propagate THROUGH a protected source, and nodes reachable from it only
+// via that source inherit the protected source's id (see dijkstra.hpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::graph {
+
+class ShortestPathEngine {
+ public:
+  ShortestPathEngine() = default;
+  explicit ShortestPathEngine(const Graph& g) { attach(g); }
+
+  /// (Re)binds the engine to a graph.  Workspaces are kept and only grow, so
+  /// rebinding between graphs (e.g. the distance oracle's per-domain
+  /// subgraphs) does not thrash the allocator.  The graph must outlive the
+  /// engine's use of it.
+  void attach(const Graph& g) { g_ = &g; }
+
+  const Graph* graph() const noexcept { return g_; }
+
+  /// Full single-source Dijkstra.  The returned tree is engine-owned and
+  /// overwritten by the next run_* call.
+  const ShortestPathTree& run(NodeId source) {
+    return run_impl(source, kInvalidNode, kInfiniteCost);
+  }
+
+  /// Dijkstra that stops as soon as `target` is settled.  dist/parent are
+  /// exact for `target` and every node settled before it; the remaining
+  /// entries are unexplored (+inf) or tentative upper bounds.
+  const ShortestPathTree& run_to(NodeId source, NodeId target) {
+    return run_impl(source, target, kInfiniteCost);
+  }
+
+  /// Dijkstra that settles exactly the nodes within distance `limit`.
+  /// Entries beyond the limit are unexplored or tentative, as in run_to.
+  const ShortestPathTree& run_bounded(NodeId source, Cost limit) {
+    return run_impl(source, kInvalidNode, limit);
+  }
+
+  /// Exact point-to-point distance (targeted run; +inf when unreachable).
+  Cost distance(NodeId source, NodeId target) {
+    return run_to(source, target).dist[static_cast<std::size_t>(target)];
+  }
+
+  /// Full single-source Dijkstra written into caller-owned storage (the
+  /// persistence path: MetricClosure hub trees, DynamicForest's cache).
+  /// Only the heap workspace is engine-shared, so `out` is a standalone
+  /// ShortestPathTree with no tie to the engine's lifetime.
+  void run_into(NodeId source, ShortestPathTree& out);
+
+  /// Multi-source Dijkstra (Mehlhorn's Voronoi partition).  Duplicate
+  /// sources are tolerated; equal-distance ties deterministically assign
+  /// ownership to the smallest source id.  Engine-owned result, same
+  /// overwrite contract as run().
+  const VoronoiPartition& run_multi(std::span<const NodeId> sources);
+
+ private:
+  struct HeapItem {
+    Cost dist;
+    NodeId node;
+    bool operator>(const HeapItem& o) const noexcept {
+      if (dist != o.dist) return dist > o.dist;
+      return node > o.node;
+    }
+  };
+  struct MultiHeapItem {
+    Cost dist;
+    NodeId owner;
+    NodeId node;
+    bool operator>(const MultiHeapItem& o) const noexcept {
+      if (dist != o.dist) return dist > o.dist;
+      if (owner != o.owner) return owner > o.owner;
+      return node > o.node;
+    }
+  };
+
+  /// One node's full Dijkstra state packed into 16 bytes, so a relaxation
+  /// reads and writes a single cache line per node instead of touching
+  /// three parallel arrays.  Results are unpacked into the ShortestPathTree
+  /// layout with one sequential sweep after the run.
+  struct Label {
+    Cost dist;
+    NodeId parent;
+    EdgeId parent_edge;
+  };
+
+  const ShortestPathTree& run_impl(NodeId source, NodeId target, Cost limit);
+  void reset_tree(std::size_t n);
+  void reset_voronoi(std::size_t n);
+
+  const Graph* g_ = nullptr;
+  ShortestPathTree tree_;
+  VoronoiPartition vor_;
+  std::vector<Label> labels_;  // run_into scratch
+  std::vector<NodeId> tree_touched_;
+  std::vector<NodeId> vor_touched_;
+  std::vector<NodeId> seeds_;
+  std::vector<HeapItem> heap_;
+  std::vector<MultiHeapItem> multi_heap_;
+};
+
+}  // namespace sofe::graph

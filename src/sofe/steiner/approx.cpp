@@ -7,9 +7,9 @@
 #include <numeric>
 #include <set>
 
-#include "sofe/graph/dijkstra.hpp"
 #include "sofe/graph/dsu.hpp"
 #include "sofe/graph/metric_closure.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
 #include "sofe/graph/mst.hpp"
 #include "sofe/steiner/steiner.hpp"
 
@@ -103,8 +103,10 @@ SteinerTree mehlhorn(const Graph& g, const std::vector<NodeId>& terminals) {
   if (T.size() <= 1) return {};
 
   // 1. One multi-source Dijkstra builds the Voronoi partition around
-  //    terminals: owner[v] = closest terminal, dist[v] = distance to it.
-  const auto vor = graph::multi_source_dijkstra(g, T);
+  //    terminals: owner[v] = closest terminal, dist[v] = distance to it
+  //    (equal-distance ties owned by the smallest terminal id).
+  graph::ShortestPathEngine engine(g);
+  const auto& vor = engine.run_multi(T);
 
   // 2. For every graph edge (u, v) bridging two Voronoi cells s != t, the
   //    implied terminal-to-terminal connection costs
@@ -162,7 +164,9 @@ SteinerTree takahashi_matsuyama(const Graph& g, const std::vector<NodeId>& termi
   if (T.size() <= 1) return {};
 
   // Grow the tree from T[0]; at every step connect the terminal nearest to
-  // the current tree via its shortest path.
+  // the current tree via its shortest path.  One engine serves every
+  // iteration's multi-source query.
+  graph::ShortestPathEngine engine(g);
   std::vector<bool> in_tree(static_cast<std::size_t>(g.node_count()), false);
   in_tree[static_cast<std::size_t>(T[0])] = true;
   std::set<EdgeId> union_edges;
@@ -174,7 +178,7 @@ SteinerTree takahashi_matsuyama(const Graph& g, const std::vector<NodeId>& termi
     for (NodeId v = 0; v < g.node_count(); ++v) {
       if (in_tree[static_cast<std::size_t>(v)]) tree_nodes.push_back(v);
     }
-    const auto sp = graph::multi_source_dijkstra(g, tree_nodes);
+    const auto& sp = engine.run_multi(tree_nodes);
     std::size_t pick = 0;
     for (std::size_t i = 1; i < remaining.size(); ++i) {
       if (sp.dist[static_cast<std::size_t>(remaining[i])] <

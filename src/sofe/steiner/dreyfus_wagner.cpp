@@ -12,7 +12,7 @@
 #include <cassert>
 #include <queue>
 
-#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
 #include "sofe/steiner/steiner.hpp"
 
 namespace sofe::steiner {
@@ -44,9 +44,10 @@ SteinerTree dreyfus_wagner(const Graph& g, const std::vector<NodeId>& terminals)
   std::vector<std::vector<Cost>> S(full + 1, std::vector<Cost>(n, graph::kInfiniteCost));
   std::vector<std::vector<Decision>> dec(full + 1, std::vector<Decision>(n));
 
-  // Base: singletons via Dijkstra from each terminal.
+  // Base: singletons via Dijkstra from each terminal (one engine, reused).
+  graph::ShortestPathEngine engine(g);
   for (std::size_t i = 0; i < t; ++i) {
-    const auto sp = graph::dijkstra(g, T[i]);
+    const auto& sp = engine.run(T[i]);
     const std::uint32_t mask = 1u << i;
     for (std::size_t v = 0; v < n; ++v) {
       S[mask][v] = sp.dist[v];
@@ -88,7 +89,10 @@ SteinerTree dreyfus_wagner(const Graph& g, const std::vector<NodeId>& terminals)
         }
       }
     }
-    // Relaxation phase: Dijkstra with the merge results as initial labels.
+    // Relaxation phase: Dijkstra with the merge results as initial labels,
+    // streamed over the CSR adjacency (this multi-label relaxation has no
+    // single source, so it keeps its own heap rather than the engine's).
+    const graph::CsrView& csr = g.csr();
     std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
     for (std::size_t v = 0; v < n; ++v) {
       if (S[X][v] < graph::kInfiniteCost) heap.push({S[X][v], static_cast<NodeId>(v)});
@@ -97,8 +101,9 @@ SteinerTree dreyfus_wagner(const Graph& g, const std::vector<NodeId>& terminals)
       const auto [c, u] = heap.top();
       heap.pop();
       if (c > S[X][static_cast<std::size_t>(u)]) continue;
-      for (const graph::Arc& a : g.neighbors(u)) {
-        const Cost nc = c + g.edge(a.edge).cost;
+      for (std::int32_t i = csr.begin(u); i < csr.end(u); ++i) {
+        const graph::CsrArc& a = csr.arcs[static_cast<std::size_t>(i)];
+        const Cost nc = c + a.cost;
         if (nc < S[X][static_cast<std::size_t>(a.to)]) {
           S[X][static_cast<std::size_t>(a.to)] = nc;
           dec[X][static_cast<std::size_t>(a.to)] = Decision{0, u, a.edge};

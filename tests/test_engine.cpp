@@ -1,0 +1,376 @@
+// Tests for the CSR graph core and the reusable ShortestPathEngine: CSR /
+// adjacency agreement, workspace-reuse correctness across repeated queries,
+// targeted/bounded variants, the multi-source smaller-owner tie-break
+// invariant, path_to edge cases, and bit-identical multi-threaded
+// MetricClosure construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sofe/graph/dijkstra.hpp"
+#include "sofe/graph/metric_closure.hpp"
+#include "sofe/graph/oracles.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
+#include "sofe/util/rng.hpp"
+
+namespace sofe::graph {
+namespace {
+
+Graph random_connected(util::Rng& rng, int n, double extra_edge_prob,
+                       bool integer_costs = false) {
+  Graph g(n);
+  auto cost = [&] {
+    return integer_costs ? static_cast<Cost>(rng.uniform_int(1, 6)) : rng.uniform(0.5, 10.0);
+  };
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.index(static_cast<std::size_t>(v))), cost());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(extra_edge_prob)) g.add_edge(u, v, cost());
+    }
+  }
+  return g;
+}
+
+TEST(Csr, MatchesAdjacencyListsArcForArc) {
+  util::Rng rng(7);
+  const Graph g = random_connected(rng, 40, 0.2);
+  const CsrView& csr = g.csr();
+  ASSERT_EQ(csr.offsets.size(), static_cast<std::size_t>(g.node_count()) + 1);
+  ASSERT_EQ(csr.arcs.size(), 2 * static_cast<std::size_t>(g.edge_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto arcs = g.neighbors(v);
+    ASSERT_EQ(static_cast<std::size_t>(csr.end(v) - csr.begin(v)), arcs.size());
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const CsrArc& a = csr.arcs[static_cast<std::size_t>(csr.begin(v)) + i];
+      EXPECT_EQ(a.to, arcs[i].to);
+      EXPECT_EQ(a.edge, arcs[i].edge);
+      EXPECT_DOUBLE_EQ(a.cost, g.edge(arcs[i].edge).cost);
+    }
+  }
+}
+
+TEST(Csr, CostRefreshWithoutStructuralRebuild) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  const std::uint64_t v0 = g.version();
+  (void)g.csr();
+  g.set_edge_cost(e, 5.5);
+  EXPECT_GT(g.version(), v0);
+  const CsrView& csr = g.csr();
+  for (std::int32_t i = csr.begin(0); i < csr.end(0); ++i) {
+    EXPECT_DOUBLE_EQ(csr.arcs[static_cast<std::size_t>(i)].cost, 5.5);
+  }
+}
+
+TEST(Csr, StructuralMutationRebuilds) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  (void)g.csr();
+  const NodeId w = g.add_node();
+  g.add_edge(1, w, 3.0);
+  const CsrView& csr = g.csr();
+  ASSERT_EQ(csr.offsets.size(), 4u);
+  EXPECT_EQ(csr.end(1) - csr.begin(1), 2);
+  EXPECT_EQ(csr.arcs[static_cast<std::size_t>(csr.begin(w))].to, 1);
+}
+
+TEST(Csr, CopyDropsCacheButStaysCorrect) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  (void)g.csr();
+  Graph copy = g;
+  copy.set_edge_cost(0, 9.0);
+  EXPECT_DOUBLE_EQ(copy.csr().arcs[static_cast<std::size_t>(copy.csr().begin(0))].cost, 9.0);
+  // The original's cache is untouched by the copy's mutation.
+  EXPECT_DOUBLE_EQ(g.csr().arcs[static_cast<std::size_t>(g.csr().begin(0))].cost, 1.0);
+}
+
+class EngineRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineRandom, RunMatchesOneShotDijkstraAndBellmanFord) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const int n = rng.uniform_int(5, 40);
+  const Graph g = random_connected(rng, n, 0.15);
+  ShortestPathEngine engine(g);
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    const auto& t = engine.run(s);
+    const auto reference = dijkstra(g, s);
+    const auto bf = bellman_ford(g, s);
+    // Bit-identical to the one-shot free function, value-close to the oracle.
+    EXPECT_EQ(t.dist, reference.dist);
+    EXPECT_EQ(t.parent, reference.parent);
+    EXPECT_EQ(t.parent_edge, reference.parent_edge);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_NEAR(t.distance(v), bf[static_cast<std::size_t>(v)], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandom, ::testing::Range(1, 9));
+
+TEST(Engine, RepeatedRunsLeaveNoResidue) {
+  // A bounded run touches few nodes; the following full run must be exact
+  // everywhere (the touched-list reset is what this pins down).
+  util::Rng rng(42);
+  const Graph g = random_connected(rng, 60, 0.1);
+  ShortestPathEngine engine(g);
+  const auto baseline = dijkstra(g, 7);
+  (void)engine.run_bounded(3, 1.0);
+  (void)engine.run_to(11, 12);
+  const auto& t = engine.run(7);
+  EXPECT_EQ(t.dist, baseline.dist);
+  EXPECT_EQ(t.parent, baseline.parent);
+}
+
+TEST(Engine, RunToSettlesTargetExactly) {
+  util::Rng rng(9);
+  const Graph g = random_connected(rng, 50, 0.12);
+  ShortestPathEngine engine(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = static_cast<NodeId>(rng.index(50));
+    const auto d = static_cast<NodeId>(rng.index(50));
+    const Cost expect = dijkstra(g, s).distance(d);
+    EXPECT_DOUBLE_EQ(engine.distance(s, d), expect);
+    const auto& t = engine.run_to(s, d);
+    const auto path = t.path_to(d);
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), d);
+    Cost walked = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      walked += g.edge(g.find_edge(path[i], path[i + 1])).cost;
+    }
+    EXPECT_NEAR(walked, expect, 1e-9);
+  }
+}
+
+TEST(Engine, RunBoundedSettlesEverythingWithinLimit) {
+  util::Rng rng(13);
+  const Graph g = random_connected(rng, 50, 0.12);
+  ShortestPathEngine engine(g);
+  const auto full = dijkstra(g, 0);
+  const Cost limit = 8.0;
+  const auto& t = engine.run_bounded(0, limit);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (full.distance(v) <= limit) {
+      EXPECT_DOUBLE_EQ(t.distance(v), full.distance(v));
+    } else if (t.reachable(v)) {
+      // Beyond the limit entries may exist only as valid upper bounds.
+      EXPECT_GE(t.distance(v) + 1e-12, full.distance(v));
+    }
+  }
+}
+
+TEST(Engine, UnreachableStaysInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  ShortestPathEngine engine(g);
+  const auto& t = engine.run(0);
+  EXPECT_FALSE(t.reachable(2));
+  EXPECT_FALSE(t.reachable(3));
+  EXPECT_DOUBLE_EQ(t.distance(1), 1.0);
+}
+
+TEST(PathTo, SourceEqualsTargetIsSingleton) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto t = dijkstra(g, 1);
+  EXPECT_EQ(t.path_to(1), std::vector<NodeId>{1});
+}
+
+#ifndef NDEBUG
+using PathToDeathTest = ::testing::Test;
+
+TEST(PathToDeathTest, UnreachableTargetAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);  // node 2 isolated
+  const auto t = dijkstra(g, 0);
+  EXPECT_DEATH({ (void)t.path_to(2); }, "reachable");
+}
+#endif
+
+TEST(MultiSource, EqualDistanceGoesToSmallerSourceId) {
+  // d(0, 2) = 5 via 0-1-2; d(3, 2) = 5 directly.  The old visit-order
+  // tie-break settled node 3's relaxation first and handed 2 to owner 3;
+  // the lexicographic (dist, owner) labels must hand it to 0.
+  Graph g(4);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 2, 5.0);
+  const auto vor = multi_source_dijkstra(g, {0, 3});
+  EXPECT_DOUBLE_EQ(vor.dist[2], 5.0);
+  EXPECT_EQ(vor.owner[2], 0);
+}
+
+TEST(MultiSource, SeedProtectionShadowsNodesBehindTheProtectedSource) {
+  // Sources 0 and 5 joined by a zero-cost edge; w hangs off 5.  Source 5
+  // keeps its own cell (seed protection), and because labels never
+  // propagate through a protected seed, w — reachable only via 5 — keeps
+  // owner 5 even though d(0, w) == d(5, w) == 1.  This pins the documented
+  // zero-cost-tie semantics of the (dist, owner) label order.
+  Graph g(6);
+  g.add_edge(0, 5, 0.0);
+  const NodeId w = 1;
+  g.add_edge(5, w, 1.0);
+  const auto vor = multi_source_dijkstra(g, {0, 5});
+  EXPECT_EQ(vor.owner[5], 5);
+  EXPECT_EQ(vor.owner[0], 0);
+  EXPECT_DOUBLE_EQ(vor.dist[static_cast<std::size_t>(w)], 1.0);
+  EXPECT_EQ(vor.owner[static_cast<std::size_t>(w)], 5);
+}
+
+class MultiSourceRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiSourceRandom, OwnerIsSmallestAmongNearestSources) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 17);
+  const int n = rng.uniform_int(8, 40);
+  // Integer costs force plenty of exact distance ties.
+  const Graph g = random_connected(rng, n, 0.2, /*integer_costs=*/true);
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (rng.chance(0.25)) sources.push_back(v);
+  }
+  if (sources.empty()) sources.push_back(static_cast<NodeId>(n - 1));
+
+  const auto vor = multi_source_dijkstra(g, sources);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    Cost best = kInfiniteCost;
+    NodeId best_src = kInvalidNode;
+    for (NodeId s : sources) {  // sources ascend, so first minimum = smallest id
+      const Cost d = dijkstra(g, s).distance(v);
+      if (d < best) {
+        best = d;
+        best_src = s;
+      }
+    }
+    EXPECT_NEAR(vor.dist[static_cast<std::size_t>(v)], best, 1e-9);
+    EXPECT_EQ(vor.owner[static_cast<std::size_t>(v)], best_src) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSourceRandom, ::testing::Range(1, 9));
+
+TEST(MultiSource, ParentChainStaysInsideOwnersCell) {
+  util::Rng rng(23);
+  const Graph g = random_connected(rng, 40, 0.2, /*integer_costs=*/true);
+  const std::vector<NodeId> sources{1, 9, 21};
+  const auto vor = multi_source_dijkstra(g, sources);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (vor.parent[vi] == kInvalidNode) continue;
+    const auto pi = static_cast<std::size_t>(vor.parent[vi]);
+    EXPECT_EQ(vor.owner[pi], vor.owner[vi]);
+    EXPECT_NEAR(vor.dist[pi] + g.edge(vor.parent_edge[vi]).cost, vor.dist[vi], 1e-9);
+  }
+}
+
+TEST(MultiSource, EngineAgreesWithFreeFunction) {
+  util::Rng rng(31);
+  const Graph g = random_connected(rng, 35, 0.15, /*integer_costs=*/true);
+  const std::vector<NodeId> sources{0, 5, 6, 17};
+  ShortestPathEngine engine(g);
+  (void)engine.run(3);  // dirty the workspaces first
+  const auto& a = engine.run_multi(sources);
+  const auto b = multi_source_dijkstra(g, sources);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.parent_edge, b.parent_edge);
+}
+
+TEST(MetricClosureThreads, BitIdenticalForAnyThreadCount) {
+  util::Rng rng(77);
+  const Graph g = random_connected(rng, 120, 0.05);
+  std::vector<NodeId> hubs;
+  for (NodeId v = 0; v < g.node_count(); v += 3) hubs.push_back(v);
+  hubs.push_back(hubs.front());  // duplicate tolerated
+
+  const MetricClosure solo(g, hubs, 1);
+  for (int threads : {2, 3, 8}) {
+    const MetricClosure par(g, hubs, threads);
+    for (NodeId h : hubs) {
+      ASSERT_TRUE(par.is_hub(h));
+      EXPECT_EQ(par.tree(h).source, solo.tree(h).source);
+      EXPECT_EQ(par.tree(h).dist, solo.tree(h).dist);          // bitwise doubles
+      EXPECT_EQ(par.tree(h).parent, solo.tree(h).parent);
+      EXPECT_EQ(par.tree(h).parent_edge, solo.tree(h).parent_edge);
+    }
+  }
+}
+
+TEST(MetricClosure, TapDerivedTreesBitIdenticalToFullRuns) {
+  // Hubs attached by zero-cost degree-1 taps (the library's VM attachment)
+  // get their trees derived from the host tree; the result must equal a
+  // full Dijkstra from the tap, bit for bit — dist, parent and parent_edge.
+  util::Rng rng(55);
+  Graph g = random_connected(rng, 60, 0.1);
+  std::vector<NodeId> hubs;
+  for (int i = 0; i < 12; ++i) {
+    const auto host = static_cast<NodeId>(rng.index(60));  // several taps share hosts
+    const NodeId vm = g.add_node();
+    g.add_edge(vm, host, 0.0);
+    hubs.push_back(vm);
+  }
+  hubs.push_back(3);  // one backbone hub that is also a tap host candidate
+  const MetricClosure mc(g, hubs, 1);
+  for (NodeId h : hubs) {
+    const auto full = dijkstra(g, h);
+    EXPECT_EQ(mc.tree(h).source, h);
+    EXPECT_EQ(mc.tree(h).dist, full.dist);
+    EXPECT_EQ(mc.tree(h).parent, full.parent);
+    EXPECT_EQ(mc.tree(h).parent_edge, full.parent_edge);
+  }
+}
+
+TEST(MetricClosure, MutualZeroCostTapsFallBackToFullRuns) {
+  // Two nodes joined by one zero-cost edge and nothing else: both are
+  // "taps" of each other; derivation must not chase the cycle.
+  Graph g(4);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(2, 3, 1.0);
+  const MetricClosure mc(g, {0, 1}, 1);
+  EXPECT_DOUBLE_EQ(mc.distance(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(mc.distance(1, 0), 0.0);
+  EXPECT_FALSE(mc.tree(0).reachable(2));
+}
+
+TEST(MetricClosureThreads, TapDerivationBitIdenticalAcrossThreads) {
+  util::Rng rng(66);
+  Graph g = random_connected(rng, 80, 0.08);
+  std::vector<NodeId> hubs;
+  for (int i = 0; i < 20; ++i) {
+    const auto host = static_cast<NodeId>(rng.index(80));
+    const NodeId vm = g.add_node();
+    g.add_edge(vm, host, 0.0);
+    hubs.push_back(vm);
+  }
+  hubs.push_back(7);
+  const MetricClosure solo(g, hubs, 1);
+  const MetricClosure par(g, hubs, 4);
+  for (NodeId h : hubs) {
+    EXPECT_EQ(par.tree(h).dist, solo.tree(h).dist);
+    EXPECT_EQ(par.tree(h).parent, solo.tree(h).parent);
+    EXPECT_EQ(par.tree(h).parent_edge, solo.tree(h).parent_edge);
+  }
+}
+
+TEST(MetricClosureThreads, ThreadCountClampedAndUsable) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  const MetricClosure mc(g, {0, 1}, -4);  // clamped to 1
+  EXPECT_DOUBLE_EQ(mc.distance(0, 1), 2.0);
+  const MetricClosure wide(g, {0, 1}, 64);  // more threads than hubs
+  EXPECT_DOUBLE_EQ(wide.distance(1, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace sofe::graph
