@@ -8,18 +8,16 @@
 
 #include <iostream>
 
-#include "sofe/core/sofda.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/core/conflict.hpp"
 #include "sofe/core/validate.hpp"
 #include "sofe/util/rng.hpp"
-#include "sofe/dist/dist_sofda.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/stopwatch.hpp"
 #include "sofe/util/table.hpp"
 
 namespace {
 
-using sofe::core::AlgoOptions;
 using sofe::core::total_cost;
 
 constexpr int kSeeds = 8;
@@ -45,17 +43,17 @@ void steiner_choice() {
   };
   sofe::util::Table table({"variant", "mean cost", "mean time (ms)"});
   for (const auto& v : variants) {
+    sofe::api::SolverOptions opt;
+    opt.steiner = v.algo;
+    const auto solver = sofe::api::make_solver("sofda", opt);
     double cost = 0.0, ms = 0.0;
     int counted = 0;
     for (int s = 0; s < kSeeds; ++s) {
       const auto p = sample(700 + static_cast<std::uint64_t>(s));
-      AlgoOptions opt;
-      opt.steiner = v.algo;
-      sofe::util::Stopwatch watch;
-      const auto f = sofe::core::sofda(p, opt);
-      ms += watch.milliseconds();
+      const auto f = solver->solve(p);
+      ms += solver->report().total_seconds * 1e3;
       if (f.empty()) continue;
-      cost += total_cost(p, f);
+      cost += solver->report().total_cost;
       ++counted;
     }
     table.add_row({v.name, sofe::util::Table::num(cost / counted, 2),
@@ -67,23 +65,19 @@ void steiner_choice() {
 void stroll_choice() {
   std::cout << "\n--- (2) k-stroll solver inside SOFDA (|M| = 12 so exact DP is cheap) ---\n";
   sofe::util::Table table({"variant", "mean cost", "mean time (ms)"});
-  for (const auto stroll : {sofe::kstroll::StrollAlgorithm::kCheapestInsertion,
-                            sofe::kstroll::StrollAlgorithm::kExactDp}) {
+  for (const char* name : {"sofda", "sofda/exact-stroll"}) {
+    const auto solver = sofe::api::make_solver(name);
     double cost = 0.0, ms = 0.0;
     int counted = 0;
     for (int s = 0; s < kSeeds; ++s) {
       const auto p = sample(800 + static_cast<std::uint64_t>(s), /*vms=*/12);
-      AlgoOptions opt;
-      opt.stroll = stroll;
-      sofe::util::Stopwatch watch;
-      const auto f = sofe::core::sofda(p, opt);
-      ms += watch.milliseconds();
+      const auto f = solver->solve(p);
+      ms += solver->report().total_seconds * 1e3;
       if (f.empty()) continue;
-      cost += total_cost(p, f);
+      cost += solver->report().total_cost;
       ++counted;
     }
-    table.add_row({stroll == sofe::kstroll::StrollAlgorithm::kExactDp ? "exact DP"
-                                                                      : "cheapest insertion",
+    table.add_row({std::string(name) == "sofda" ? "cheapest insertion" : "exact DP",
                    sofe::util::Table::num(cost / counted, 3),
                    sofe::util::Table::num(ms / kSeeds, 2)});
   }
@@ -95,15 +89,16 @@ void shorten_choice() {
   std::cout << "\n--- (3) pass-through shortening post-step ---\n";
   sofe::util::Table table({"variant", "mean cost"});
   for (const bool shorten : {true, false}) {
+    sofe::api::SolverOptions opt;
+    opt.shorten = shorten;
+    const auto solver = sofe::api::make_solver("sofda", opt);
     double cost = 0.0;
     int counted = 0;
     for (int s = 0; s < kSeeds; ++s) {
       const auto p = sample(900 + static_cast<std::uint64_t>(s));
-      AlgoOptions opt;
-      opt.shorten = shorten;
-      const auto f = sofe::core::sofda(p, opt);
+      const auto f = solver->solve(p);
       if (f.empty()) continue;
-      cost += total_cost(p, f);
+      cost += solver->report().total_cost;
       ++counted;
     }
     table.add_row({shorten ? "with shortening" : "without", sofe::util::Table::num(cost / counted, 3)});
@@ -119,6 +114,7 @@ void conflict_traffic() {
   std::cout << "\n--- (4) VNF-conflict resolution traffic (ring topology, opposing sources) ---\n";
   sofe::util::Table table({"|M|", "deployed", "case1", "case2", "case3", "requeued",
                            "dropped", "feasible"});
+  const auto sofda_solver = sofe::api::make_solver("sofda");
   for (int vms : {4, 6, 10}) {
     sofe::core::SofdaStats agg;
     int feasible = 0;
@@ -132,8 +128,8 @@ void conflict_traffic() {
       cfg.seed = 1100 + static_cast<std::uint64_t>(s);
       const auto topo = sofe::topology::ring(24);
       const auto p = sofe::topology::make_problem(topo, cfg);
-      sofe::core::SofdaStats stats;
-      const auto f = sofe::core::sofda(p, {}, &stats);
+      const auto f = sofda_solver->solve(p);
+      const auto& stats = sofda_solver->report().sofda;
       if (!f.empty() && sofe::core::is_feasible(p, f)) ++feasible;
       agg.deployed_chains += stats.deployed_chains;
       agg.conflicts.case1 += stats.conflicts.case1;
@@ -217,13 +213,16 @@ void distributed_overhead() {
   std::cout << "\n--- (5) multi-controller message overhead (Section VI) ---\n";
   sofe::util::Table table({"controllers", "messages", "payload items", "rounds", "cost vs central"});
   const auto p = sample(1234, 10);
-  const auto central = sofe::core::sofda(p);
-  const double central_cost = total_cost(p, central);
+  const auto central = sofe::api::make_solver("sofda");
+  (void)central->solve(p);
+  const double central_cost = central->report().total_cost;
   for (int k : {1, 2, 3, 4, 6, 8}) {
-    const auto r = sofe::dist::distributed_sofda(p, k);
+    const auto solver = sofe::api::make_solver("dist/k=" + std::to_string(k));
+    (void)solver->solve(p);
+    const auto& r = solver->report();
     table.add_row({std::to_string(k), std::to_string(r.messages),
                    std::to_string(r.payload_items), std::to_string(r.rounds),
-                   sofe::util::Table::num(total_cost(p, r.forest) / central_cost, 4) + "x"});
+                   sofe::util::Table::num(r.total_cost / central_cost, 4) + "x"});
   }
   table.print();
 }

@@ -20,6 +20,7 @@ int main() {
   std::cout << "=== Fig. 11: setup-cost multiplier x chain length (SoftLayer, SOFDA) ===\n";
   std::cout << "(defaults: |S|=14, |D|=6, |M|=25; mean over " << seeds << " seeds)\n";
 
+  const auto solver = sofe::api::make_solver("sofda");
   std::vector<std::vector<double>> cost(chains.size(), std::vector<double>(multipliers.size()));
   std::vector<std::vector<double>> vms(chains.size(), std::vector<double>(multipliers.size()));
   for (std::size_t ci = 0; ci < chains.size(); ++ci) {
@@ -32,9 +33,9 @@ int main() {
         cfg.setup_scale = 1.0 * multipliers[mi];  // 1x = the Fig. 8 default scale
         cfg.seed = 500 + 31 * static_cast<std::uint64_t>(s);
         const auto p = sofe::topology::make_problem(topo, cfg);
-        const auto f = sofe::core::sofda(p);
+        const auto f = solver->solve(p);
         if (f.empty()) continue;
-        cost_sum += sofe::core::total_cost(p, f);
+        cost_sum += solver->report().total_cost;
         vm_sum += static_cast<double>(f.enabled_vms().size());
         ++counted;
       }

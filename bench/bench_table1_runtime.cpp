@@ -13,7 +13,7 @@
 #include <iostream>
 #include <map>
 
-#include "sofe/core/sofda.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/stopwatch.hpp"
 #include "sofe/util/table.hpp"
@@ -35,11 +35,11 @@ void sofda_runtime(benchmark::State& state) {
   cfg.chain_length = 3;
   cfg.seed = 99;
   const auto p = sofe::topology::make_problem(topo, cfg);
+  const auto solver = sofe::api::make_solver("sofda");
   double last = 0.0;
   for (auto _ : state) {
-    sofe::util::Stopwatch watch;
-    auto f = sofe::core::sofda(p);
-    last = watch.seconds();
+    auto f = solver->solve(p);
+    last = solver->report().total_seconds;
     benchmark::DoNotOptimize(f);
     state.SetIterationTime(last);
   }

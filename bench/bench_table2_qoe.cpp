@@ -12,11 +12,8 @@
 
 #include <iostream>
 
-#include "sofe/baselines/baselines.hpp"
-#include "sofe/core/sofda.hpp"
+#include "bench_util.hpp"
 #include "sofe/qoe/streaming.hpp"
-#include "sofe/topology/topology.hpp"
-#include "sofe/util/table.hpp"
 
 namespace {
 
@@ -32,6 +29,11 @@ int main() {
   const auto topo = sofe::topology::testbed14();
   const int trials = 40;
   std::map<std::string, Row> rows;
+  // Table II compares SOFDA/eNEMP/eST (no plain ST).
+  std::map<std::string, std::unique_ptr<sofe::api::Solver>> solvers;
+  for (const auto& [display, registered] : sofe::bench::comparison_solvers()) {
+    if (display != "ST") solvers[display] = sofe::api::make_solver(registered);
+  }
 
   for (int profile = 0; profile < 2; ++profile) {
     auto q = profile == 0 ? sofe::qoe::profile_ours() : sofe::qoe::profile_emulab();
@@ -53,9 +55,9 @@ int main() {
         sofe::core::ServiceForest forest;
       };
       Algo algos[] = {
-          {"SOFDA", sofe::core::sofda(p)},
-          {"eNEMP", sofe::baselines::run(p, sofe::baselines::Kind::kEnemp)},
-          {"eST", sofe::baselines::run(p, sofe::baselines::Kind::kEst)},
+          {"SOFDA", solvers.at("SOFDA")->solve(p)},
+          {"eNEMP", solvers.at("eNEMP")->solve(p)},
+          {"eST", solvers.at("eST")->solve(p)},
       };
       bool all_ok = true;
       for (const auto& a : algos) all_ok = all_ok && !a.forest.empty();

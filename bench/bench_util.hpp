@@ -6,13 +6,13 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "sofe/baselines/baselines.hpp"
-#include "sofe/core/sofda.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/core/validate.hpp"
-#include "sofe/exact/solver.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/stopwatch.hpp"
 #include "sofe/util/table.hpp"
@@ -35,6 +35,17 @@ inline const std::vector<std::string>& algorithm_names(bool with_exact) {
   return with_exact ? kWith : kWithout;
 }
 
+/// Paper display name -> solver-registry name for the comparison set.
+inline const std::vector<std::pair<std::string, std::string>>& comparison_solvers() {
+  static const std::vector<std::pair<std::string, std::string>> kAlgos{
+      {"SOFDA", "sofda"},
+      {"eNEMP", "baseline/enemp"},
+      {"eST", "baseline/est"},
+      {"ST", "baseline/st"},
+  };
+  return kAlgos;
+}
+
 /// Mean total cost per algorithm over `seeds` sampled instances.
 /// "CPLEX*" is our exact solver (DESIGN.md §3); its average covers the seeds
 /// it proved optimal within budget and is omitted when it closed none
@@ -42,31 +53,40 @@ inline const std::vector<std::string>& algorithm_names(bool with_exact) {
 inline std::map<std::string, double> mean_costs(const topology::Topology& topo,
                                                 topology::ProblemConfig cfg, int seeds,
                                                 bool with_exact) {
+  // One solver session per algorithm, reused across the seed loop: each
+  // seed's graph differs (cache miss), but the sessions keep their engine
+  // and tree workspaces warm.
+  std::vector<std::pair<std::string, std::unique_ptr<api::Solver>>> solvers;
+  for (const auto& [display, registered] : comparison_solvers()) {
+    solvers.emplace_back(display, api::make_solver(registered));
+  }
+  api::SolverOptions exact_opt;
+  exact_opt.exact_limits.max_bnb_nodes = 10000;
+  exact_opt.exact_limits.max_seconds = 25.0;  // fail fast on unclosable cells; EXPERIMENTS.md
+  const auto exact_solver = with_exact ? api::make_solver("exact", exact_opt) : nullptr;
+
   std::map<std::string, double> sum;
   int counted = 0, exact_counted = 0;
   double exact_sum = 0.0;
   for (int s = 0; s < seeds; ++s) {
     cfg.seed = 1000 + 77 * static_cast<std::uint64_t>(s) + cfg.seed % 77;
     const auto p = topology::make_problem(topo, cfg);
-    const auto f_sofda = core::sofda(p);
-    const auto f_enemp = baselines::run(p, baselines::Kind::kEnemp);
-    const auto f_est = baselines::run(p, baselines::Kind::kEst);
-    const auto f_st = baselines::run(p, baselines::Kind::kSt);
-    if (f_sofda.empty() || f_enemp.empty() || f_est.empty() || f_st.empty()) continue;
-    if (with_exact) {
-      exact::ExactLimits limits;
-      limits.max_bnb_nodes = 10000;
-      limits.max_seconds = 25.0;  // fail fast on unclosable cells; EXPERIMENTS.md
-      const auto ex = exact::solve_exact(p, limits);
-      if (ex.optimal) {
-        exact_sum += ex.cost;
+    std::map<std::string, double> costs;
+    bool all_feasible = true;
+    for (const auto& [display, solver] : solvers) {
+      const auto f = solver->solve(p);
+      all_feasible = all_feasible && !f.empty();
+      costs[display] = solver->report().total_cost;
+    }
+    if (!all_feasible) continue;
+    if (exact_solver) {
+      (void)exact_solver->solve(p);
+      if (exact_solver->report().optimal) {
+        exact_sum += exact_solver->report().total_cost;
         ++exact_counted;
       }
     }
-    sum["SOFDA"] += core::total_cost(p, f_sofda);
-    sum["eNEMP"] += core::total_cost(p, f_enemp);
-    sum["eST"] += core::total_cost(p, f_est);
-    sum["ST"] += core::total_cost(p, f_st);
+    for (const auto& [display, cost] : costs) sum[display] += cost;
     ++counted;
   }
   if (counted > 0) {

@@ -6,8 +6,8 @@
 #include <algorithm>
 #include <iostream>
 
+#include "sofe/api/registry.hpp"
 #include "sofe/core/dynamic.hpp"
-#include "sofe/core/sofda.hpp"
 #include "sofe/core/validate.hpp"
 #include "sofe/topology/topology.hpp"
 
@@ -34,7 +34,7 @@ int main() {
   cfg.chain_length = 2;
   cfg.seed = 99;
   auto p = topology::make_problem(topology::softlayer(), cfg);
-  auto f = core::sofda(p);
+  auto f = api::make_solver("sofda")->solve(p);
   core::DynamicForest live(std::move(p), std::move(f));
   report("initial SOFDA embedding", live);
 

@@ -5,9 +5,8 @@
 
 #include <iostream>
 
-#include "sofe/core/sofda.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/core/validate.hpp"
-#include "sofe/dist/dist_sofda.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/table.hpp"
 
@@ -23,18 +22,20 @@ int main() {
   cfg.seed = 6;
   const auto p = topology::make_problem(topo, cfg);
 
-  core::SofdaStats central_stats;
-  const auto central = core::sofda(p, {}, &central_stats);
-  std::cout << "Cogent request, centralized SOFDA cost: " << core::total_cost(p, central)
-            << " (certificate " << central_stats.steiner_tree_cost << ")\n\n";
+  const auto central_solver = api::make_solver("sofda");
+  (void)central_solver->solve(p);
+  std::cout << "Cogent request, centralized SOFDA cost: " << central_solver->report().total_cost
+            << " (certificate " << central_solver->report().sofda.steiner_tree_cost << ")\n\n";
 
   util::Table table({"controllers", "forest cost", "certificate", "messages",
                      "payload items", "rounds", "feasible"});
   for (int k : {1, 2, 4, 6}) {
-    const auto r = dist::distributed_sofda(p, k);
-    const auto report = core::validate(p, r.forest);
-    table.add_row({std::to_string(k), util::Table::num(core::total_cost(p, r.forest), 2),
-                   util::Table::num(r.stats.steiner_tree_cost, 2),
+    const auto solver = api::make_solver("dist/k=" + std::to_string(k));
+    const auto forest = solver->solve(p);
+    const auto& r = solver->report();
+    const auto report = core::validate(p, forest);
+    table.add_row({std::to_string(k), util::Table::num(r.total_cost, 2),
+                   util::Table::num(r.sofda.steiner_tree_cost, 2),
                    std::to_string(r.messages), std::to_string(r.payload_items),
                    std::to_string(r.rounds), report.ok ? "yes" : "NO"});
   }

@@ -4,8 +4,7 @@
 
 #include <iostream>
 
-#include "sofe/baselines/baselines.hpp"
-#include "sofe/core/sofda.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/online/simulator.hpp"
 #include "sofe/util/table.hpp"
 
@@ -28,12 +27,12 @@ int main() {
             << cfg.max_destinations << "], |S|~U[" << cfg.min_sources << ","
             << cfg.max_sources << "], |C|=" << cfg.chain_length << "\n\n";
 
-  const auto sofda_r = online::simulate(topo, cfg, "SOFDA", [](const core::Problem& p) {
-    return core::sofda(p);
-  });
-  const auto est_r = online::simulate(topo, cfg, "eST", [](const core::Problem& p) {
-    return baselines::run(p, baselines::Kind::kEst);
-  });
+  // Persistent sessions: each solver keeps its shortest-path workspaces
+  // across the arrival stream (only link/VM prices change between requests).
+  const auto sofda = api::make_solver("sofda");
+  const auto est = api::make_solver("baseline/est");
+  const auto sofda_r = online::simulate(topo, cfg, *sofda);
+  const auto est_r = online::simulate(topo, cfg, *est);
 
   util::Table table({"#request", "SOFDA cum. cost", "eST cum. cost"});
   for (int i = 0; i < cfg.requests; i += 2) {

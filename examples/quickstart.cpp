@@ -3,17 +3,15 @@
 //
 //   $ ./example_quickstart
 //
-// Walks through the library's core loop: Problem -> sofda() -> ServiceForest
-// -> validate/cost, plus a comparison against SOFDA-SS, the baselines and
-// the exact optimum on this small instance.
+// Walks through the library's core loop: Problem -> Solver -> ServiceForest
+// -> validate/cost.  Algorithms are selected by name from the solver
+// registry; the same session object can embed many instances, reusing its
+// shortest-path workspaces (see DESIGN.md "API layer").
 
 #include <iostream>
 
-#include "sofe/baselines/baselines.hpp"
-#include "sofe/core/sofda.hpp"
-#include "sofe/core/sofda_ss.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/core/validate.hpp"
-#include "sofe/exact/solver.hpp"
 
 using namespace sofe;
 
@@ -43,27 +41,32 @@ int main() {
             << ", |D|=" << p.destinations.size() << ", |C|=" << p.chain_length << "\n\n";
 
   // --- the headline algorithm: SOFDA (3*rhoST approximation) ---
-  core::SofdaStats stats;
-  const auto forest = core::sofda(p, {}, &stats);
+  const auto sofda = api::make_solver("sofda");
+  const auto forest = sofda->solve(p);
   std::cout << "SOFDA result:\n" << core::describe(p, forest);
   const auto report = core::validate(p, forest);
   std::cout << "feasible: " << (report.ok ? "yes" : report.summary()) << "\n";
+  const auto& stats = sofda->report().sofda;
   std::cout << "candidate chains priced: " << stats.candidate_chains
             << ", deployed: " << stats.deployed_chains
             << ", VNF conflicts resolved: " << stats.conflicts.total_resolved() << "\n\n";
 
-  // --- alternatives on the same instance ---
-  const auto f_ss = core::sofda_ss(p, p.sources.front());
-  const auto f_est = baselines::run(p, baselines::Kind::kEst);
-  const auto f_st = baselines::run(p, baselines::Kind::kSt);
-  const auto exact = exact::solve_exact(p);
-  std::cout << "cost comparison:\n";
-  std::cout << "  SOFDA     " << core::total_cost(p, forest) << "\n";
-  std::cout << "  SOFDA-SS  " << core::total_cost(p, f_ss) << "  (single source "
-            << p.sources.front() << ")\n";
-  std::cout << "  eST       " << core::total_cost(p, f_est) << "\n";
-  std::cout << "  ST        " << core::total_cost(p, f_st) << "\n";
-  std::cout << "  optimum   " << exact.cost << "  (exact branch-and-bound, "
-            << exact.bnb_nodes << " nodes)\n";
+  // --- every other registered algorithm on the same instance ---
+  std::cout << "cost comparison (all registry entries):\n";
+  std::cout << "  sofda                 " << sofda->report().total_cost << "\n";
+  for (const auto& name : api::SolverRegistry::global().names()) {
+    if (name == "sofda") continue;
+    const auto solver = api::make_solver(name);
+    (void)solver->solve(p);
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 22; ++pad) std::cout << ' ';
+    if (!solver->report().feasible) {
+      std::cout << "infeasible\n";
+      continue;
+    }
+    std::cout << solver->report().total_cost;
+    if (name == "exact") std::cout << "  (optimum; " << solver->report().bnb_nodes << " BnB nodes)";
+    std::cout << "\n";
+  }
   return 0;
 }

@@ -12,11 +12,8 @@
 #include <iostream>
 #include <string>
 
-#include "sofe/baselines/baselines.hpp"
-#include "sofe/core/sofda.hpp"
-#include "sofe/core/sofda_ss.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/core/validate.hpp"
-#include "sofe/exact/solver.hpp"
 #include "sofe/io/io.hpp"
 #include "sofe/topology/topology.hpp"
 
@@ -26,7 +23,21 @@ namespace {
 
 void usage() {
   std::cout << "usage: example_solve_instance [--algo NAME] [--dot FILE] [instance.txt]\n"
-               "  NAME in {sofda, sofda-ss, est, enemp, st, exact}; default sofda\n";
+               "  NAME is a solver-registry name; short aliases st/est/enemp also work.\n"
+               "  registered solvers:\n";
+  for (const auto& name : api::SolverRegistry::global().names()) {
+    std::cout << "    " << name;
+    for (std::size_t pad = name.size(); pad < 20; ++pad) std::cout << ' ';
+    std::cout << api::SolverRegistry::global().describe(name) << "\n";
+  }
+}
+
+/// Pre-registry spellings kept as aliases.
+std::string canonical_algo(const std::string& algo) {
+  if (algo == "st") return "baseline/st";
+  if (algo == "est") return "baseline/est";
+  if (algo == "enemp") return "baseline/enemp";
+  return algo;
 }
 
 }  // namespace
@@ -73,28 +84,20 @@ int main(int argc, char** argv) {
             << ", |S|=" << p.sources.size() << ", |D|=" << p.destinations.size()
             << ", |C|=" << p.chain_length << "\n";
 
-  core::ServiceForest forest;
-  if (algo == "sofda") {
-    forest = core::sofda(p);
-  } else if (algo == "sofda-ss") {
-    forest = core::sofda_ss(p, p.sources.front());
-  } else if (algo == "est") {
-    forest = baselines::run(p, baselines::Kind::kEst);
-  } else if (algo == "enemp") {
-    forest = baselines::run(p, baselines::Kind::kEnemp);
-  } else if (algo == "st") {
-    forest = baselines::run(p, baselines::Kind::kSt);
-  } else if (algo == "exact") {
-    const auto r = exact::solve_exact(p);
-    if (!r.optimal) {
+  const std::string name = canonical_algo(algo);
+  if (!api::SolverRegistry::global().contains(name)) {
+    usage();
+    return 1;
+  }
+  const auto solver = api::make_solver(name);
+  const core::ServiceForest forest = solver->solve(p);
+  if (name == "exact") {
+    if (!solver->report().optimal) {
       std::cerr << "exact solver could not prove optimality within limits\n";
       return 2;
     }
-    forest = r.forest;
-    std::cout << "(optimum proven; " << r.bnb_nodes << " branch-and-bound nodes)\n";
-  } else {
-    usage();
-    return 1;
+    std::cout << "(optimum proven; " << solver->report().bnb_nodes
+              << " branch-and-bound nodes)\n";
   }
 
   if (forest.empty()) {

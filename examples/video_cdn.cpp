@@ -6,8 +6,7 @@
 
 #include <iostream>
 
-#include "sofe/baselines/baselines.hpp"
-#include "sofe/core/sofda.hpp"
+#include "sofe/api/registry.hpp"
 #include "sofe/core/validate.hpp"
 #include "sofe/qoe/streaming.hpp"
 #include "sofe/topology/topology.hpp"
@@ -35,10 +34,10 @@ int main() {
     core::ServiceForest forest;
   };
   Entry entries[] = {
-      {"SOFDA", core::sofda(p)},
-      {"eNEMP", baselines::run(p, baselines::Kind::kEnemp)},
-      {"eST", baselines::run(p, baselines::Kind::kEst)},
-      {"ST", baselines::run(p, baselines::Kind::kSt)},
+      {"SOFDA", api::make_solver("sofda")->solve(p)},
+      {"eNEMP", api::make_solver("baseline/enemp")->solve(p)},
+      {"eST", api::make_solver("baseline/est")->solve(p)},
+      {"ST", api::make_solver("baseline/st")->solve(p)},
   };
 
   util::Table table({"algorithm", "total cost", "setup", "connection", "trees", "VMs"});

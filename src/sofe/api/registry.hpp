@@ -1,0 +1,72 @@
+#pragma once
+// String-keyed solver registry (DESIGN.md §7).
+//
+// Benches, examples, tests and the online simulator select algorithms by
+// name instead of hand-wiring lambdas over the free functions:
+//
+//   auto solver = sofe::api::make_solver("sofda");
+//   auto forest = solver->solve(problem);
+//
+// Built-in names:
+//   sofda                 SOFDA (Algorithm 2), the 3ρST approximation
+//   sofda/exact-stroll    SOFDA with the exact-DP k-stroll oracle
+//   sofda-ss              SOFDA-SS (Algorithm 1), p.sources.front()
+//   baseline/st           ST   — best single Steiner tree + grafted chain
+//   baseline/est          eST  — ST + iterative multi-source extension
+//   baseline/enemp        eNEMP — NFV-enabled-multicast baseline, extended
+//   dist/k=<int>          multi-controller SOFDA with k controllers
+//                         (parameterized: any k >= 1 parses; k=2 and k=4
+//                         are pre-registered so enumeration shows the form)
+//   exact                 exact branch-and-bound (SolverOptions::exact_limits)
+//
+// The registry is open: callers may add their own factories (names are
+// unique; re-registering a name replaces the factory, enabling test fakes).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sofe/api/solver.hpp"
+
+namespace sofe::api {
+
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Solver>(const SolverOptions&)>;
+
+  /// The process-wide registry, populated with the built-ins above on first
+  /// use.
+  static SolverRegistry& global();
+
+  /// Registers (or replaces) a named factory.
+  void add(std::string name, std::string description, Factory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Creates a solver session.  Exact names are looked up first; a name of
+  /// the form "dist/k=<int>" is synthesized on the fly for any k >= 1.
+  /// Throws std::invalid_argument for an unknown name (the message lists
+  /// the registered names).
+  std::unique_ptr<Solver> create(std::string_view name, const SolverOptions& opt = {}) const;
+
+  /// Registered names, sorted (what --help menus and tests enumerate).
+  std::vector<std::string> names() const;
+
+  /// One-line description of a registered name ("" when unknown).
+  std::string describe(std::string_view name) const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Shorthand for SolverRegistry::global().create(name, opt).
+std::unique_ptr<Solver> make_solver(std::string_view name, const SolverOptions& opt = {});
+
+}  // namespace sofe::api

@@ -1,0 +1,63 @@
+#include "sofe/api/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sofe/online/simulator.hpp"
+#include "sofe/util/stopwatch.hpp"
+
+namespace sofe::online {
+
+OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
+                      api::Solver& solver) {
+  // One code path for both overloads: the session is just another embedder,
+  // which is what makes the bit-identity guarantee structural rather than
+  // maintained by hand.  Defined here (not in online/) so the layer DAG
+  // stays one-directional: api depends on online, never the reverse.
+  return simulate(topo, cfg, std::string(solver.name()),
+                  [&solver](const Problem& p) { return solver.solve(p); });
+}
+
+}  // namespace sofe::online
+
+namespace sofe::api {
+
+const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
+                                                    const std::vector<NodeId>& hubs, int threads,
+                                                    SolveReport& report) {
+  report.closure_hubs = static_cast<int>(hubs.size());
+  const auto edges = g.edges();
+  const bool hit =
+      valid_ && key_nodes_ == g.node_count() && key_edges_.size() == edges.size() &&
+      key_hubs_ == hubs &&
+      std::equal(edges.begin(), edges.end(), key_edges_.begin(),
+                 [](const graph::Edge& a, const graph::Edge& b) {
+                   return a.u == b.u && a.v == b.v && a.cost == b.cost;
+                 });
+  report.closure_cache_hit = hit;
+  if (hit) return closure_;
+
+  const util::Stopwatch watch;
+  g.ensure_csr();  // make subsequent csr() reads safe for worker threads
+  closure_.build(g, hubs, threads, &engine_);
+  report.closure_seconds = watch.seconds();
+  key_nodes_ = g.node_count();
+  key_edges_.assign(edges.begin(), edges.end());
+  key_hubs_ = hubs;
+  valid_ = true;
+  return closure_;
+}
+
+ServiceForest Solver::solve(const Problem& p) {
+  assert(p.well_formed());
+  report_ = SolveReport{};
+  report_.solver = std::string(name());
+  const util::Stopwatch watch;
+  ServiceForest f = do_solve(p, report_);
+  report_.total_seconds = watch.seconds();
+  report_.feasible = !f.empty();
+  report_.total_cost = report_.feasible ? core::total_cost(p, f) : 0.0;
+  return f;
+}
+
+}  // namespace sofe::api

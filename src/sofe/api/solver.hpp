@@ -1,0 +1,170 @@
+#pragma once
+// Unified solver session API (DESIGN.md §7).
+//
+// Every embedding algorithm in the library — SOFDA, SOFDA-SS, the Section
+// VIII baselines, the multi-controller pipeline and the exact solver — is
+// exposed as a stateful `Solver` object with one uniform entry point,
+// `solve(const Problem&) -> ServiceForest`.  A Solver is a *session*: it
+// owns a persistent ShortestPathEngine and a MetricClosure cache that
+// survive across solve() calls, so sequential workloads (the online
+// simulator's arrival stream, bench sweeps over seeds) reuse workspaces
+// instead of reallocating O(hubs · V) state per call, and an unchanged
+// network + hub set skips closure construction entirely.
+//
+// The free functions (core::sofda, core::sofda_ss, baselines::run,
+// dist::distributed_sofda, exact::solve_exact) remain as one-shot shims;
+// solvers are obtained by name through the SolverRegistry (registry.hpp).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sofe/core/chain_walk.hpp"
+#include "sofe/core/forest.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/exact/solver.hpp"
+#include "sofe/graph/metric_closure.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
+
+namespace sofe::api {
+
+using core::Cost;
+using core::NodeId;
+using core::Problem;
+using core::ServiceForest;
+
+/// Solver-wide tuning knobs.  Absorbs core::AlgoOptions and generalizes its
+/// closure_threads into `threads`, the session-wide parallelism knob: it
+/// drives both metric-closure construction and SOFDA candidate pricing.
+/// Every parallel path is bit-identical to the serial one (tested), so
+/// `threads` is purely a speed knob, never a results knob.
+struct SolverOptions {
+  kstroll::StrollAlgorithm stroll = kstroll::StrollAlgorithm::kCheapestInsertion;
+  steiner::Algorithm steiner = steiner::Algorithm::kMehlhorn;
+  bool shorten = true;  // apply the pass-through shortening post-step
+  int threads = 1;      // solver-wide: closure build + chain pricing workers
+  exact::ExactLimits exact_limits;  // the "exact" solver's search budget
+
+  /// View for the procedural (core/baselines/dist) layers.
+  core::AlgoOptions algo() const {
+    core::AlgoOptions o;
+    o.stroll = stroll;
+    o.steiner = steiner;
+    o.shorten = shorten;
+    o.closure_threads = threads;
+    return o;
+  }
+
+  static SolverOptions from(const core::AlgoOptions& o) {
+    SolverOptions s;
+    s.stroll = o.stroll;
+    s.steiner = o.steiner;
+    s.shorten = o.shorten;
+    s.threads = o.closure_threads;
+    return s;
+  }
+};
+
+/// Uniform per-solve diagnostics, filled by Solver::solve.  Absorbs
+/// SofdaStats/ConflictStats (zeroed for non-SOFDA solvers) plus the
+/// distributed protocol ledger, the exact-solver certificate and a timing
+/// breakdown; fields a given solver does not produce stay at their defaults.
+struct SolveReport {
+  std::string solver;          // registry name of the solver that ran
+  bool feasible = false;
+  Cost total_cost = 0.0;       // core::total_cost of the returned forest
+
+  core::SofdaStats sofda;      // SOFDA-family runs (incl. dist/*)
+
+  int controllers = 0;         // dist/*: k actually used
+  std::size_t messages = 0;    //   directed controller-to-controller messages
+  std::size_t payload_items = 0;
+  int rounds = 0;
+
+  bool optimal = false;        // exact: optimum proven within limits
+  int bnb_nodes = 0;           //   branch-and-bound tree size
+
+  bool closure_cache_hit = false;  // session cache: closure reused as-is
+  int closure_hubs = 0;            //   hub count of the active closure
+
+  double closure_seconds = 0.0;  // hub-tree (re)construction
+  double pricing_seconds = 0.0;  // candidate-chain pricing (SOFDA)
+  double solve_seconds = 0.0;    // everything after pricing
+  double total_seconds = 0.0;    // full solve() wall time
+};
+
+/// Session-scoped MetricClosure cache shared by the concrete solvers.
+///
+/// `acquire` returns a closure holding Dijkstra trees for `hubs` over `g`,
+/// rebuilding only when the inputs actually changed.  The cache key is the
+/// exact (node count, edge list incl. costs, hub sequence) triple rather
+/// than (graph pointer, Graph::version()): version counters are copied
+/// along with the graph, so two per-arrival Problem copies in the online
+/// simulator can carry the *same* version at the *same* stack address with
+/// different link prices — an exact key is what makes the session safe to
+/// point at any Problem.  The O(E + hubs) comparison is noise next to one
+/// Dijkstra.  On a miss the closure rebuilds in place, reusing tree storage
+/// and the session engine's heap/label workspaces (cost-only mutations thus
+/// recompute trees with zero steady-state allocation); on a hit the solve
+/// skips closure construction entirely.
+class ClosureSession {
+ public:
+  /// `threads` as in MetricClosure.  Updates report.closure_cache_hit,
+  /// report.closure_hubs and report.closure_seconds.
+  const graph::MetricClosure& acquire(const graph::Graph& g, const std::vector<NodeId>& hubs,
+                                      int threads, SolveReport& report);
+
+  /// Drops the cached closure (the next acquire rebuilds).
+  void invalidate() { valid_ = false; }
+
+  /// The session's single-thread build engine (exposed so solvers can run
+  /// auxiliary queries against persistent workspaces).
+  graph::ShortestPathEngine& engine() noexcept { return engine_; }
+
+ private:
+  graph::MetricClosure closure_;
+  graph::ShortestPathEngine engine_;
+  bool valid_ = false;
+  NodeId key_nodes_ = 0;
+  std::vector<graph::Edge> key_edges_;
+  std::vector<NodeId> key_hubs_;
+};
+
+/// Abstract solver session.  Concrete implementations live behind the
+/// SolverRegistry; all of them are deterministic in (problem, options) and
+/// produce results bit-identical to their free-function counterparts.
+///
+/// Sessions are single-threaded objects (one Solver per driving thread);
+/// `threads` parallelism happens *inside* a solve call.
+class Solver {
+ public:
+  explicit Solver(SolverOptions opt = {}) : opt_(opt) {}
+  virtual ~Solver() = default;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// The registry name this solver answers to (e.g. "sofda", "dist/k=4").
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Embeds one instance.  Returns an empty forest when infeasible.
+  /// Diagnostics for the call are available from report() until the next
+  /// solve().
+  ServiceForest solve(const Problem& p);
+
+  const SolveReport& report() const noexcept { return report_; }
+
+  SolverOptions& options() noexcept { return opt_; }
+  const SolverOptions& options() const noexcept { return opt_; }
+
+ protected:
+  /// The algorithm body.  `report` arrives zeroed except for `solver`;
+  /// feasible/total_cost/total_seconds are filled by the wrapper.
+  virtual ServiceForest do_solve(const Problem& p, SolveReport& report) = 0;
+
+  SolverOptions opt_;
+
+ private:
+  SolveReport report_;
+};
+
+}  // namespace sofe::api

@@ -78,58 +78,84 @@ bool DynamicForest::destination_join(NodeId d, const AlgoOptions& opt) {
 
   // Candidate attachment points: every (walk, position) pair, deduplicated by
   // (node, #VNFs applied) since the completion cost only depends on those.
+  struct Candidate {
+    std::size_t walk;
+    std::size_t pos;
+    NodeId node;
+    int remaining;  // VNFs still to install past this attachment point
+  };
+  std::vector<Candidate> cands;
   std::set<std::pair<NodeId, int>> seen;
   for (std::size_t wi = 0; wi < f_.walks.size(); ++wi) {
     const ChainWalk& w = f_.walks[wi];
     for (std::size_t i = 0; i < w.nodes.size(); ++i) {
-      const NodeId u = w.nodes[i];
       const int fu = w.stage_at(i);  // VNFs applied at/before position i
-      if (!seen.insert({u, fu}).second) continue;
-      const int remaining = chain - fu;
+      if (!seen.insert({w.nodes[i], fu}).second) continue;
+      cands.push_back(Candidate{wi, i, w.nodes[i], chain - fu});
+    }
+  }
+
+  // One closure for the whole join: trees for every fresh VM plus every
+  // attachment point that needs a completion chain.  Each hub tree is an
+  // independent Dijkstra, so pooling candidates changes nothing in any
+  // tree — and VM taps (the canonical zero-cost access links) are derived,
+  // not recomputed, making the join cost one Dijkstra per distinct host
+  // instead of O(candidates · fresh VMs) full runs.
+  graph::MetricClosure closure;
+  bool have_closure = false;
+  if (static_cast<int>(fresh_vms.size()) >= 1) {
+    std::vector<NodeId> hubs = fresh_vms;
+    for (const Candidate& c : cands) {
+      if (c.remaining > 0 && static_cast<int>(fresh_vms.size()) >= c.remaining) {
+        hubs.push_back(c.node);
+        have_closure = true;
+      }
+    }
+    if (have_closure) closure.build(p_.network, hubs, 1, &engine_);
+  }
+
+  for (const Candidate& cand : cands) {
+    const NodeId u = cand.node;
+
+    if (cand.remaining == 0) {
       const auto& sp_u = paths_from(u);
-
-      if (remaining == 0) {
-        if (!sp_u.reachable(d) || u == d) continue;
-        const Cost c = sp_u.distance(d);
-        if (c < best.cost) {
-          auto tail = sp_u.path_to(d);
-          tail.erase(tail.begin());  // completion excludes the attachment node
-          best = Attachment{c, wi, i, std::move(tail), {}};
-        }
-        continue;
+      if (!sp_u.reachable(d) || u == d) continue;
+      const Cost c = sp_u.distance(d);
+      if (c < best.cost) {
+        auto tail = sp_u.path_to(d);
+        tail.erase(tail.begin());  // completion excludes the attachment node
+        best = Attachment{c, cand.walk, cand.pos, std::move(tail), {}};
       }
-      if (static_cast<int>(fresh_vms.size()) < remaining) continue;
-      // Completion chain: k-stroll from u through `remaining` fresh VMs to a
-      // last VM u2, then the shortest path u2 -> d.
-      std::vector<NodeId> hubs = fresh_vms;
-      hubs.push_back(u);
-      const graph::MetricClosure closure(p_.network, hubs);
-      for (NodeId u2 : fresh_vms) {
-        if (u2 == u || !closure.tree(u).reachable(u2)) continue;
-        const auto inst = kstroll::build_stroll_instance(p_.network, closure, u, fresh_vms, u2,
-                                                         p_.node_cost);
-        const auto stroll = kstroll::solve_stroll(inst, remaining + 1, opt.stroll);
-        if (!stroll.feasible()) continue;
-        const auto& sp_u2 = paths_from(u2);
-        if (!sp_u2.reachable(d)) continue;
-        const Cost c = stroll.cost + sp_u2.distance(d);
-        if (c >= best.cost) continue;
+      continue;
+    }
+    if (static_cast<int>(fresh_vms.size()) < cand.remaining) continue;
+    assert(have_closure);
+    // Completion chain: k-stroll from u through `remaining` fresh VMs to a
+    // last VM u2, then the shortest path u2 -> d.
+    for (NodeId u2 : fresh_vms) {
+      if (u2 == u || !closure.tree(u).reachable(u2)) continue;
+      const auto inst = kstroll::build_stroll_instance(p_.network, closure, u, fresh_vms, u2,
+                                                       p_.node_cost);
+      const auto stroll = kstroll::solve_stroll(inst, cand.remaining + 1, opt.stroll);
+      if (!stroll.feasible()) continue;
+      const auto& sp_u2 = paths_from(u2);
+      if (!sp_u2.reachable(d)) continue;
+      const Cost c = stroll.cost + sp_u2.distance(d);
+      if (c >= best.cost) continue;
 
-        Attachment a;
-        a.cost = c;
-        a.walk = wi;
-        a.pos = i;
-        for (std::size_t s = 0; s + 1 < stroll.order.size(); ++s) {
-          const auto path = closure.path(inst.nodes[stroll.order[s]],
-                                         inst.nodes[stroll.order[s + 1]]);
-          a.completion.insert(a.completion.end(),
-                              path.begin() + (s == 0 ? 1 : 1), path.end());
-          a.completion_slots.push_back(a.completion.size() - 1);
-        }
-        const auto suffix = sp_u2.path_to(d);
-        a.completion.insert(a.completion.end(), suffix.begin() + 1, suffix.end());
-        best = std::move(a);
+      Attachment a;
+      a.cost = c;
+      a.walk = cand.walk;
+      a.pos = cand.pos;
+      for (std::size_t s = 0; s + 1 < stroll.order.size(); ++s) {
+        const auto path = closure.path(inst.nodes[stroll.order[s]],
+                                       inst.nodes[stroll.order[s + 1]]);
+        a.completion.insert(a.completion.end(), path.begin() + 1, path.end());
+        a.completion_slots.push_back(a.completion.size() - 1);
       }
+      const auto suffix = sp_u2.path_to(d);
+      a.completion.insert(a.completion.end(), suffix.begin() + 1, suffix.end());
+      best = std::move(a);
     }
   }
   if (best.cost == graph::kInfiniteCost) return false;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "sofe/graph/mst.hpp"
 #include "sofe/steiner/steiner.hpp"
@@ -86,17 +87,47 @@ ServiceForest multicast_only(const Problem& p, const AlgoOptions& opt) {
 std::vector<PricedChain> price_candidate_chains(const Problem& p,
                                                 const graph::MetricClosure& closure,
                                                 const std::vector<NodeId>& sources,
-                                                const AlgoOptions& opt) {
+                                                const AlgoOptions& opt, int num_threads) {
   const std::vector<NodeId> vms = p.vms();
-  std::vector<PricedChain> candidates;
-  for (NodeId s : sorted_unique(sources)) {
+  const std::vector<NodeId> srcs = sorted_unique(sources);
+  const auto price_source = [&](NodeId s, std::vector<PricedChain>& out) {
     for (NodeId u : vms) {
       if (u == s) continue;
       ChainPlan plan = plan_chain_walk(p, closure, s, vms, u, opt);
       if (plan.feasible()) {
-        candidates.push_back(PricedChain{s, u, std::move(plan)});
+        out.push_back(PricedChain{s, u, std::move(plan)});
       }
     }
+  };
+
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(num_threads, 1)), std::max<std::size_t>(srcs.size(), 1));
+  std::vector<PricedChain> candidates;
+  if (workers <= 1) {
+    for (NodeId s : srcs) price_source(s, candidates);
+    return candidates;
+  }
+
+  // Parallel path: stripe sources over workers; every source writes into its
+  // own bucket, so concatenating buckets in ascending-source order yields
+  // exactly the serial output.  Workers only read `p`, `vms` and the
+  // prebuilt closure — plan_chain_walk is pure given those.
+  std::vector<std::vector<PricedChain>> per_source(srcs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = w; i < srcs.size(); i += workers) {
+        price_source(srcs[i], per_source[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  std::size_t total = 0;
+  for (const auto& bucket : per_source) total += bucket.size();
+  candidates.reserve(total);
+  for (auto& bucket : per_source) {
+    for (PricedChain& c : bucket) candidates.push_back(std::move(c));
   }
   return candidates;
 }

@@ -48,10 +48,18 @@ struct PricedChain {
 /// outputs of several calls over disjoint source sets and sorting by
 /// (source, last_vm) reproduces exactly what one call over the union yields.
 /// `closure` must hold Dijkstra trees for every source and every VM.
+///
+/// `num_threads` > 1 prices sources in parallel: pricing is embarrassingly
+/// parallel over sources (each k-stroll reads only the shared, read-only
+/// closure), so sources are striped over workers and each source's
+/// candidates land in a preassigned bucket; concatenating the buckets in
+/// ascending-source order reproduces the serial output bit for bit at any
+/// thread count (tested).  Values < 1 are clamped to 1.
 std::vector<PricedChain> price_candidate_chains(const Problem& p,
                                                 const graph::MetricClosure& closure,
                                                 const std::vector<NodeId>& sources,
-                                                const AlgoOptions& opt = {});
+                                                const AlgoOptions& opt = {},
+                                                int num_threads = 1);
 
 /// Steps 2-5 of SOFDA (auxiliary graph, Steiner tree, deployment, walks)
 /// given already-priced candidates in canonical (source, last_vm) order.

@@ -62,15 +62,21 @@ class TreePaths {
 
 ServiceForest sofda_ss(const Problem& p, NodeId source, const AlgoOptions& opt) {
   assert(p.well_formed());
+  if (p.destinations.empty()) return {};
+  // Shared shortest-path trees for the source and all VMs.
+  std::vector<NodeId> hubs = p.vms();
+  hubs.push_back(source);
+  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
+  return sofda_ss(p, source, closure, opt);
+}
+
+ServiceForest sofda_ss(const Problem& p, NodeId source, const graph::MetricClosure& closure,
+                       const AlgoOptions& opt) {
+  assert(p.well_formed());
   ServiceForest best;
   if (p.destinations.empty()) return best;
 
   const std::vector<NodeId> vms = p.vms();
-  // Shared shortest-path trees for the source and all VMs.
-  std::vector<NodeId> hubs = vms;
-  hubs.push_back(source);
-  const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
-
   Cost best_cost = graph::kInfiniteCost;
   for (NodeId u : vms) {
     // Phase 1: minimum-cost service chain source -> u with |C| VMs.

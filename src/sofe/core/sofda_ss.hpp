@@ -19,6 +19,12 @@ namespace sofe::core {
 /// Returns an empty forest when no destination exists.
 ServiceForest sofda_ss(const Problem& p, NodeId source, const AlgoOptions& opt = {});
 
+/// Same algorithm against a caller-owned metric closure holding trees for
+/// `source` and every VM (the api::Solver session path — a persistent
+/// session reuses the closure's workspaces across solves).
+ServiceForest sofda_ss(const Problem& p, NodeId source, const graph::MetricClosure& closure,
+                       const AlgoOptions& opt = {});
+
 /// Convenience overload: uses p.sources.front() (the single-source setting).
 inline ServiceForest sofda_ss(const Problem& p, const AlgoOptions& opt = {}) {
   assert(!p.sources.empty());

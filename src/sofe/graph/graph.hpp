@@ -128,8 +128,8 @@ class Graph {
   std::uint64_t version() const noexcept { return version_; }
 
   /// The CSR adjacency snapshot, (re)built lazily.  NOT thread-safe on a
-  /// cache miss: call once before sharing the graph across reader threads
-  /// (MetricClosure does this before spawning workers).
+  /// cache miss: call `ensure_csr()` before sharing the graph across reader
+  /// threads.
   const CsrView& csr() const {
     if (!csr_.structure_valid) {
       rebuild_csr();
@@ -138,6 +138,12 @@ class Graph {
     }
     return csr_.view;
   }
+
+  /// Forces the CSR cache into a valid state now.  The one call that makes
+  /// concurrent read-only use of this graph safe: every subsequent `csr()`
+  /// is a pure read until the next mutation.  MetricClosure and the api
+  /// solver sessions call this before fanning out worker threads.
+  const CsrView& ensure_csr() const { return csr(); }
 
   std::span<const Arc> neighbors(NodeId v) const {
     assert(valid_node(v));

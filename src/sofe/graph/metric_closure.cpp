@@ -38,9 +38,12 @@ void derive_tap_tree(const ShortestPathTree& host_tree, NodeId v, NodeId h, Edge
 
 }  // namespace
 
-MetricClosure::MetricClosure(const Graph& g, const std::vector<NodeId>& hubs, int num_threads) {
+void MetricClosure::build(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
+                          ShortestPathEngine* engine) {
   // Dedupe in first-seen order; every unique hub gets a preassigned tree
   // slot, so the parallel build below writes disjoint, fixed locations.
+  // Rebuilds reuse trees_ elements (and their vector capacities) in place.
+  tree_index_.clear();
   std::vector<NodeId> unique_hubs;
   unique_hubs.reserve(hubs.size());
   for (NodeId h : hubs) {
@@ -102,12 +105,12 @@ MetricClosure::MetricClosure(const Graph& g, const std::vector<NodeId>& hubs, in
   const std::size_t workers = std::min<std::size_t>(
       static_cast<std::size_t>(std::max(num_threads, 1)), std::max<std::size_t>(runs.size(), 1));
   if (workers <= 1) {
-    ShortestPathEngine engine(g);
-    for (const Run& r : runs) engine.run_into(r.root, *r.out);
+    ShortestPathEngine local;
+    ShortestPathEngine& eng = engine != nullptr ? *engine : local;
+    eng.attach(g);
+    for (const Run& r : runs) eng.run_into(r.root, *r.out);
   } else {
-    // Prebuild the CSR before sharing the graph across threads (the lazy
-    // csr() rebuild is not thread-safe on a cache miss).
-    (void)g.csr();
+    g.ensure_csr();  // the lazy csr() rebuild is not thread-safe on a miss
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {

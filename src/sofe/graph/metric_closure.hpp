@@ -16,6 +16,8 @@
 
 namespace sofe::graph {
 
+class ShortestPathEngine;
+
 class MetricClosure {
  public:
   /// Builds the shortest-path tree of every node in `hubs` (duplicates
@@ -33,13 +35,30 @@ class MetricClosure {
   /// per *distinct host* rather than one per VM.
   ///
   /// `num_threads` > 1 runs the full (non-derived) trees in parallel: the
-  /// CSR is prebuilt once, roots are striped over workers in a fixed
-  /// assignment, and each worker runs its own engine into preassigned
-  /// slots — so the result is bit-identical to the single-threaded build
-  /// for any thread count (tested).  Values < 1 are clamped to 1; the
-  /// thread count is a knob on AlgoOptions (closure_threads) for the
-  /// solver layers.
-  MetricClosure(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1);
+  /// CSR is prebuilt once (`Graph::ensure_csr`), roots are striped over
+  /// workers in a fixed assignment, and each worker runs its own engine into
+  /// preassigned slots — so the result is bit-identical to the
+  /// single-threaded build for any thread count (tested).  Values < 1 are
+  /// clamped to 1; the thread count is a knob on AlgoOptions
+  /// (closure_threads) and api::SolverOptions (threads) for the solver
+  /// layers.
+  MetricClosure(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1) {
+    build(g, hubs, num_threads);
+  }
+
+  /// An empty closure; populate with build().  Lets long-lived solver
+  /// sessions keep one MetricClosure object across solves.
+  MetricClosure() = default;
+
+  /// (Re)builds the closure in place.  Tree and index storage is reused, so
+  /// a session that rebuilds after an edge-cost change (the online
+  /// simulator's per-arrival price refresh) recomputes the Dijkstra trees
+  /// without reallocating their O(hubs · V) arrays.  When `engine` is given
+  /// it runs the single-threaded build (persistent heap/label workspaces —
+  /// api::ClosureSession passes its session engine); parallel builds use
+  /// one worker-local engine per thread regardless.
+  void build(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1,
+             ShortestPathEngine* engine = nullptr);
 
   /// Shortest-path distance from hub `from` to any node `to`.
   /// Requires `from` to be a hub.

@@ -98,4 +98,8 @@ OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
   return result;
 }
 
+// The Solver& overload is defined in api/solver.cpp: api sits on top of
+// online in the layer DAG, so the adapter lives in the higher layer and
+// this file never includes api headers.
+
 }  // namespace sofe::online

@@ -18,6 +18,10 @@
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/rng.hpp"
 
+namespace sofe::api {
+class Solver;
+}
+
 namespace sofe::online {
 
 using core::Cost;
@@ -52,5 +56,15 @@ struct OnlineResult {
 /// is regenerated from cfg.seed for every algorithm, so series are paired.
 OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
                       const std::string& algo_name, const EmbedFn& embed);
+
+/// Runs the request sequence against a persistent solver session (the api
+/// layer).  Unlike the EmbedFn overload — which erases all state, so every
+/// arrival rebuilds its metric closure from scratch — the session carries
+/// its ShortestPathEngine and closure workspaces across arrivals: only link
+/// *prices* change between requests, so each refresh recomputes hub trees
+/// into already-sized storage.  The cost series is bit-identical to
+/// embedding each arrival with the equivalent free function (tested).
+OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
+                      api::Solver& solver);
 
 }  // namespace sofe::online

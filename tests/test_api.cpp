@@ -1,0 +1,301 @@
+// Tests for the sofe::api layer: the SolverRegistry round-trip, the
+// session's closure-cache reuse/invalidation semantics, parallel-pricing
+// bit-identity, and the simulate(Solver&) equivalence guarantee.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sofe/api/registry.hpp"
+#include "sofe/baselines/baselines.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/core/sofda_ss.hpp"
+#include "sofe/core/validate.hpp"
+#include "sofe/dist/dist_sofda.hpp"
+#include "sofe/exact/solver.hpp"
+#include "sofe/online/simulator.hpp"
+#include "sofe/topology/topology.hpp"
+
+namespace {
+
+using namespace sofe;
+using api::make_solver;
+using api::SolverOptions;
+using api::SolverRegistry;
+using core::NodeId;
+using core::Problem;
+using core::ServiceForest;
+
+/// The quickstart instance (examples/quickstart.cpp): 10 nodes, 2 sources,
+/// 2 destinations, 4 VMs, |C| = 2 — small enough for every solver
+/// including "exact".
+Problem quickstart_instance() {
+  Problem p;
+  p.network = core::Graph(10);
+  const std::vector<std::tuple<int, int, double>> links = {
+      {0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 4, 1.0}, {4, 5, 2.0},
+      {5, 6, 1.0}, {6, 7, 1.0}, {7, 8, 1.0}, {8, 9, 1.0}, {9, 0, 2.0},
+      {1, 6, 3.0}, {3, 8, 3.0},
+  };
+  for (const auto& [u, v, c] : links) {
+    p.network.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), c);
+  }
+  p.node_cost = {0, 0, 2.0, 1.5, 0, 0, 1.0, 2.5, 0, 0};
+  p.is_vm = {0, 0, 1, 1, 0, 0, 1, 1, 0, 0};
+  p.sources = {0, 5};
+  p.destinations = {4, 9};
+  p.chain_length = 2;
+  return p;
+}
+
+bool forests_equal(const ServiceForest& a, const ServiceForest& b) {
+  if (a.walks.size() != b.walks.size()) return false;
+  for (std::size_t i = 0; i < a.walks.size(); ++i) {
+    if (a.walks[i].source != b.walks[i].source ||
+        a.walks[i].destination != b.walks[i].destination ||
+        a.walks[i].nodes != b.walks[i].nodes || a.walks[i].vnf_pos != b.walks[i].vnf_pos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Registry, EveryRegisteredNameSolvesTheQuickstartInstance) {
+  const auto p = quickstart_instance();
+  const auto names = SolverRegistry::global().names();
+  ASSERT_GE(names.size(), 9u);
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    const auto solver = make_solver(name);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), name);
+    EXPECT_FALSE(SolverRegistry::global().describe(name).empty());
+    const auto f = solver->solve(p);
+    ASSERT_FALSE(f.empty());
+    const auto report = core::validate(p, f);
+    EXPECT_TRUE(report.ok) << report.summary();
+    EXPECT_TRUE(solver->report().feasible);
+    EXPECT_EQ(solver->report().solver, name);
+    EXPECT_DOUBLE_EQ(solver->report().total_cost, core::total_cost(p, f));
+    EXPECT_GE(solver->report().total_seconds, 0.0);
+  }
+}
+
+TEST(Registry, SessionsMatchTheFreeFunctions) {
+  const auto p = quickstart_instance();
+  EXPECT_TRUE(forests_equal(make_solver("sofda")->solve(p), core::sofda(p)));
+  EXPECT_TRUE(forests_equal(make_solver("sofda-ss")->solve(p),
+                            core::sofda_ss(p, p.sources.front())));
+  EXPECT_TRUE(forests_equal(make_solver("baseline/st")->solve(p),
+                            baselines::run(p, baselines::Kind::kSt)));
+  EXPECT_TRUE(forests_equal(make_solver("baseline/est")->solve(p),
+                            baselines::run(p, baselines::Kind::kEst)));
+  EXPECT_TRUE(forests_equal(make_solver("baseline/enemp")->solve(p),
+                            baselines::run(p, baselines::Kind::kEnemp)));
+  EXPECT_TRUE(forests_equal(make_solver("dist/k=3")->solve(p),
+                            dist::distributed_sofda(p, 3).forest));
+  const auto exact_f = make_solver("exact")->solve(p);
+  const auto exact_r = exact::solve_exact(p);
+  ASSERT_TRUE(exact_r.optimal);
+  EXPECT_DOUBLE_EQ(core::total_cost(p, exact_f), exact_r.cost);
+}
+
+TEST(Registry, SofdaSessionMatchesFreeFunctionOnTopologyInstances) {
+  const auto topo = topology::softlayer();
+  auto solver = make_solver("sofda");
+  auto threaded = make_solver("sofda", [] {
+    SolverOptions o;
+    o.threads = 4;
+    return o;
+  }());
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    topology::ProblemConfig cfg;
+    cfg.seed = seed;
+    const auto p = topology::make_problem(topo, cfg);
+    const auto expect = core::sofda(p);
+    EXPECT_TRUE(forests_equal(solver->solve(p), expect)) << "seed " << seed;
+    EXPECT_TRUE(forests_equal(threaded->solve(p), expect)) << "seed " << seed;
+  }
+}
+
+TEST(Registry, DistNamesAreParameterized) {
+  auto& reg = SolverRegistry::global();
+  EXPECT_TRUE(reg.contains("dist/k=2"));
+  EXPECT_TRUE(reg.contains("dist/k=17"));  // synthesized, not pre-registered
+  EXPECT_FALSE(reg.contains("dist/k=0"));
+  EXPECT_FALSE(reg.contains("dist/k="));
+  EXPECT_FALSE(reg.contains("dist/k=2x"));
+  EXPECT_EQ(make_solver("dist/k=17")->name(), "dist/k=17");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_solver("no-such-solver"), std::invalid_argument);
+  EXPECT_FALSE(SolverRegistry::global().contains("no-such-solver"));
+}
+
+TEST(Registry, CallersCanRegisterTheirOwnFactories) {
+  SolverRegistry reg;  // private registry; the global one stays untouched
+  class Null final : public api::Solver {
+   public:
+    using Solver::Solver;
+    std::string_view name() const noexcept override { return "null"; }
+
+   protected:
+    ServiceForest do_solve(const Problem&, api::SolveReport&) override { return {}; }
+  };
+  reg.add("null", "returns the empty forest",
+          [](const SolverOptions& opt) { return std::make_unique<Null>(opt); });
+  ASSERT_TRUE(reg.contains("null"));
+  const auto p = quickstart_instance();
+  auto solver = reg.create("null");
+  EXPECT_TRUE(solver->solve(p).empty());
+  EXPECT_FALSE(solver->report().feasible);
+}
+
+TEST(Session, ClosureCacheHitsOnUnchangedProblem) {
+  const auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  const auto f1 = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);  // cold session
+  const auto f2 = solver->solve(p);
+  EXPECT_TRUE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(forests_equal(f1, f2));
+}
+
+TEST(Session, EdgeCostMutationInvalidatesTheClosure) {
+  auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);
+  p.network.set_edge_cost(0, 10.0);
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));  // fresh result at new costs
+  (void)solver->solve(p);
+  EXPECT_TRUE(solver->report().closure_cache_hit);  // steady again
+}
+
+TEST(Session, StructuralMutationInvalidatesTheClosure) {
+  auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);
+  p.network.add_edge(0, 4, 0.5);  // new shortcut straight to a destination
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+TEST(Session, HubSetChangeInvalidatesTheClosure) {
+  auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);
+  p.sources = {0};  // hubs = VMs + sources shrink
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+// Version counters are copied with the graph, so two Problem copies can
+// carry the SAME Graph::version() with DIFFERENT link costs (the online
+// simulator does exactly this every arrival).  The session must not take
+// that bait.
+TEST(Session, EqualVersionsWithDifferentCostsDoNotFalselyHit) {
+  const auto base = quickstart_instance();
+  auto p1 = base;
+  auto p2 = base;
+  p1.network.set_edge_cost(0, 5.0);  // both copies land on version V+1 ...
+  p2.network.set_edge_cost(0, 9.0);  // ... with different costs
+  ASSERT_EQ(p1.network.version(), p2.network.version());
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p1);
+  const auto f2 = solver->solve(p2);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(forests_equal(f2, core::sofda(p2)));
+}
+
+TEST(ParallelPricing, BitIdenticalForThreads128OnInet) {
+  const auto topo = topology::inet(300, 600, 120, 5);
+  topology::ProblemConfig cfg;
+  cfg.num_vms = 12;
+  cfg.num_sources = 7;
+  cfg.num_destinations = 4;
+  cfg.chain_length = 3;
+  cfg.seed = 21;
+  const auto p = topology::make_problem(topo, cfg);
+
+  std::vector<NodeId> hubs = p.vms();
+  hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
+  const graph::MetricClosure closure(p.network, hubs);
+
+  const auto serial = core::price_candidate_chains(p, closure, p.sources, {}, 1);
+  ASSERT_FALSE(serial.empty());
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    const auto par = core::price_candidate_chains(p, closure, p.sources, {}, threads);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(par[i].source, serial[i].source);
+      EXPECT_EQ(par[i].last_vm, serial[i].last_vm);
+      EXPECT_EQ(par[i].plan.nodes, serial[i].plan.nodes);
+      EXPECT_EQ(par[i].plan.vnf_pos, serial[i].plan.vnf_pos);
+      EXPECT_EQ(par[i].plan.cost, serial[i].plan.cost);  // bitwise: == on doubles
+    }
+  }
+}
+
+TEST(OnlineSession, SimulateWithSolverMatchesEmbedFnBitForBit) {
+  const auto topo = topology::softlayer();
+  online::OnlineConfig cfg;
+  cfg.requests = 6;
+  cfg.min_destinations = 3;
+  cfg.max_destinations = 5;
+  cfg.min_sources = 2;
+  cfg.max_sources = 3;
+  cfg.seed = 77;
+
+  const auto legacy = online::simulate(topo, cfg, "sofda",
+                                       [](const Problem& p) { return core::sofda(p); });
+  auto solver = make_solver("sofda");
+  const auto session = online::simulate(topo, cfg, *solver);
+
+  EXPECT_EQ(session.algorithm, "sofda");
+  ASSERT_EQ(session.accumulative_cost.size(), legacy.accumulative_cost.size());
+  for (std::size_t i = 0; i < legacy.accumulative_cost.size(); ++i) {
+    EXPECT_EQ(session.accumulative_cost[i], legacy.accumulative_cost[i]);  // bitwise
+    EXPECT_EQ(session.per_request_cost[i], legacy.per_request_cost[i]);
+  }
+  EXPECT_EQ(session.infeasible_requests, legacy.infeasible_requests);
+  EXPECT_EQ(session.overloaded_links, legacy.overloaded_links);
+}
+
+TEST(SolveReport, CarriesDistProtocolAndExactCertificates) {
+  const auto p = quickstart_instance();
+  auto d = make_solver("dist/k=4");
+  (void)d->solve(p);
+  EXPECT_EQ(d->report().controllers, 4);
+  EXPECT_GT(d->report().messages, 0u);
+  EXPECT_GT(d->report().rounds, 0);
+  EXPECT_GT(d->report().sofda.deployed_chains, 0);
+
+  auto ex = make_solver("exact");
+  (void)ex->solve(p);
+  EXPECT_TRUE(ex->report().optimal);
+  EXPECT_GE(ex->report().bnb_nodes, 1);
+}
+
+TEST(SolverOptions, RoundTripsThroughAlgoOptions) {
+  SolverOptions o;
+  o.stroll = kstroll::StrollAlgorithm::kExactDp;
+  o.steiner = steiner::Algorithm::kKmb;
+  o.shorten = false;
+  o.threads = 8;
+  const auto a = o.algo();
+  EXPECT_EQ(a.stroll, o.stroll);
+  EXPECT_EQ(a.steiner, o.steiner);
+  EXPECT_EQ(a.shorten, o.shorten);
+  EXPECT_EQ(a.closure_threads, 8);
+  const auto back = SolverOptions::from(a);
+  EXPECT_EQ(back.threads, 8);
+  EXPECT_EQ(back.steiner, o.steiner);
+}
+
+}  // namespace
