@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sofe/api/registry.hpp"
+#include "sofe/api/report.hpp"
 #include "sofe/core/validate.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/stopwatch.hpp"
@@ -46,19 +47,44 @@ inline const std::vector<std::pair<std::string, std::string>>& comparison_solver
   return kAlgos;
 }
 
+/// Prints per-phase timing breakdowns (closure/pricing/solve/total
+/// mean+p95 in milliseconds, plus the session-cache outcome tallies)
+/// collected by ReportAccumulators — one row per algorithm.
+inline void print_phase_breakdown(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const api::ReportAccumulator*>>& rows) {
+  std::cout << "\n" << title << "\n";
+  util::Table table({"algo", "solves", "closure ms (p95)", "pricing ms (p95)",
+                     "solve ms (p95)", "total ms (p95)", "hit/repair/rebuild"});
+  const auto cell = [](const api::PhaseSummary& s) {
+    return util::Table::num(s.mean * 1e3, 2) + " (" + util::Table::num(s.p95 * 1e3, 2) + ")";
+  };
+  for (const auto& [name, acc] : rows) {
+    table.add_row({name, std::to_string(acc->solves()), cell(acc->closure()),
+                   cell(acc->pricing()), cell(acc->solve()), cell(acc->total()),
+                   std::to_string(acc->cache_hits()) + "/" + std::to_string(acc->repairs()) +
+                       "/" + std::to_string(acc->rebuilds())});
+  }
+  table.print();
+}
+
 /// Mean total cost per algorithm over `seeds` sampled instances.
 /// "CPLEX*" is our exact solver (DESIGN.md §3); its average covers the seeds
 /// it proved optimal within budget and is omitted when it closed none
 /// (larger |C| cells — documented in EXPERIMENTS.md).
+/// When `acc` is given, every solve's report is folded into the caller's
+/// per-algorithm accumulators (print_phase_breakdown renders them).
 inline std::map<std::string, double> mean_costs(const topology::Topology& topo,
                                                 topology::ProblemConfig cfg, int seeds,
-                                                bool with_exact) {
+                                                bool with_exact,
+                                                std::map<std::string, api::ReportAccumulator>* acc = nullptr) {
   // One solver session per algorithm, reused across the seed loop: each
   // seed's graph differs (cache miss), but the sessions keep their engine
   // and tree workspaces warm.
   std::vector<std::pair<std::string, std::unique_ptr<api::Solver>>> solvers;
   for (const auto& [display, registered] : comparison_solvers()) {
     solvers.emplace_back(display, api::make_solver(registered));
+    if (acc != nullptr) solvers.back().second->set_report_sink(&(*acc)[display]);
   }
   api::SolverOptions exact_opt;
   exact_opt.exact_limits.max_bnb_nodes = 10000;
@@ -124,6 +150,7 @@ inline void run_cost_figure(const topology::Topology& topo, bool with_exact, dou
                             int max_dest_for_exact = 10) {
   const int seeds = seeds_per_cell();
   topology::ProblemConfig base;  // paper defaults: 14 sources, 6 dests, 25 VMs, |C|=3
+  std::map<std::string, api::ReportAccumulator> acc;  // figure-wide phase stats
 
   {
     const std::vector<int> xs{2, 8, 14, 20, 26};
@@ -131,7 +158,7 @@ inline void run_cost_figure(const topology::Topology& topo, bool with_exact, dou
     for (int x : xs) {
       auto cfg = base;
       cfg.num_sources = x;
-      rows.push_back(mean_costs(topo, cfg, seeds, with_exact));
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact, &acc));
     }
     print_sweep("(a) cost vs number of sources", "|S|", xs, rows, with_exact, scale);
   }
@@ -141,7 +168,7 @@ inline void run_cost_figure(const topology::Topology& topo, bool with_exact, dou
     for (int x : xs) {
       auto cfg = base;
       cfg.num_destinations = x;
-      rows.push_back(mean_costs(topo, cfg, seeds, with_exact && x <= max_dest_for_exact));
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact && x <= max_dest_for_exact, &acc));
     }
     print_sweep("(b) cost vs number of destinations", "|D|", xs, rows, with_exact, scale);
   }
@@ -151,7 +178,7 @@ inline void run_cost_figure(const topology::Topology& topo, bool with_exact, dou
     for (int x : xs) {
       auto cfg = base;
       cfg.num_vms = x;
-      rows.push_back(mean_costs(topo, cfg, seeds, with_exact));
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact, &acc));
     }
     print_sweep("(c) cost vs number of available VMs", "|M|", xs, rows, with_exact, scale);
   }
@@ -164,10 +191,17 @@ inline void run_cost_figure(const topology::Topology& topo, bool with_exact, dou
       // The exact branch-and-bound stops proving optimality within budget
       // beyond |C| = 4 (relaxation gap grows with chain length); those
       // cells print "-" (EXPERIMENTS.md).
-      rows.push_back(mean_costs(topo, cfg, seeds, with_exact && x <= 4));
+      rows.push_back(mean_costs(topo, cfg, seeds, with_exact && x <= 4, &acc));
     }
     print_sweep("(d) cost vs service chain length", "|C|", xs, rows, with_exact, scale);
   }
+
+  std::vector<std::pair<std::string, const api::ReportAccumulator*>> rows;
+  for (const auto& [display, registered] : comparison_solvers()) {
+    (void)registered;
+    rows.emplace_back(display, &acc.at(display));
+  }
+  print_phase_breakdown("per-solve phase breakdown (all sweeps)", rows);
 }
 
 }  // namespace sofe::bench

@@ -32,7 +32,15 @@ class SofdaSolver final : public Solver {
     }
     std::vector<NodeId> hubs = p.vms();
     hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
-    const auto& closure = session_.acquire(p.network, hubs, opt_.threads, r);
+    ClosureRequest req;
+    req.threads = opt_.threads;
+    req.incremental = opt_.incremental;
+    req.bounded = opt_.bounded_closure;
+    // Pricing and chain lifting query hub-to-hub only; the re-homing
+    // fallback additionally queries hub-to-destination — so destinations
+    // complete the settle scope of a bounded closure.
+    req.settle_targets = p.destinations;
+    const auto& closure = session_.acquire(p.network, hubs, req, r);
 
     util::Stopwatch watch;
     const auto candidates =
@@ -63,7 +71,14 @@ class SofdaSsSolver final : public Solver {
     const NodeId source = p.sources.front();
     std::vector<NodeId> hubs = p.vms();
     hubs.push_back(source);
-    const auto& closure = session_.acquire(p.network, hubs, opt_.threads, r);
+    ClosureRequest req;
+    req.threads = opt_.threads;
+    req.incremental = opt_.incremental;
+    // SOFDA-SS queries the closure hub-to-hub only (chain planning; the
+    // distribution part rides its own Steiner trees), so a bounded scope
+    // needs no extra targets.
+    req.bounded = opt_.bounded_closure;
+    const auto& closure = session_.acquire(p.network, hubs, req, r);
     util::Stopwatch watch;
     ServiceForest f = core::sofda_ss(p, source, closure, opt_.algo());
     r.solve_seconds = watch.seconds();

@@ -1,0 +1,87 @@
+#pragma once
+// SolveReport aggregation over a session's lifetime (DESIGN.md §8).
+//
+// Every Solver::solve fills a SolveReport with a closure/pricing/solve/total
+// timing breakdown plus the session-cache outcome (hit / repaired /
+// rebuilt).  A ReportAccumulator folds those reports into per-phase
+// count/mean/p50/p95 summaries, so the online simulator and the bench
+// harnesses print phase breakdowns without any per-call bookkeeping of
+// their own: attach one accumulator per solver via
+// Solver::set_report_sink and read it after the workload.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sofe/api/solver.hpp"
+
+namespace sofe::api {
+
+/// Order-insensitive summary of one timing series (seconds).  Percentiles
+/// use the nearest-rank definition: p_q = sorted[ceil(q * count)] (1-based),
+/// so p50 of {1, 2, 3, 4} is 2 and p95 of 100 samples is the 95th.
+struct PhaseSummary {
+  std::size_t count = 0;
+  double total = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class ReportAccumulator {
+ public:
+  /// Folds one solve's report in (phase samples + cache/feasibility tallies).
+  void add(const SolveReport& r) {
+    closure_.push_back(r.closure_seconds);
+    pricing_.push_back(r.pricing_seconds);
+    solve_.push_back(r.solve_seconds);
+    total_.push_back(r.total_seconds);
+    if (r.closure_cache_hit) ++cache_hits_;
+    if (r.closure_repaired) ++repairs_;
+    if (!r.feasible) ++infeasible_;
+  }
+
+  void clear() { *this = ReportAccumulator{}; }
+
+  std::size_t solves() const noexcept { return total_.size(); }
+  std::size_t cache_hits() const noexcept { return cache_hits_; }
+  std::size_t repairs() const noexcept { return repairs_; }
+  /// Solves that neither hit the cache nor repaired it (cold or full-rebuild
+  /// closures, and solvers without a session cache).
+  std::size_t rebuilds() const noexcept { return solves() - cache_hits_ - repairs_; }
+  std::size_t infeasible() const noexcept { return infeasible_; }
+
+  PhaseSummary closure() const { return summarize(closure_); }
+  PhaseSummary pricing() const { return summarize(pricing_); }
+  PhaseSummary solve() const { return summarize(solve_); }
+  PhaseSummary total() const { return summarize(total_); }
+
+ private:
+  static PhaseSummary summarize(std::vector<double> samples) {
+    PhaseSummary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    for (double v : samples) s.total += v;
+    s.mean = s.total / static_cast<double>(s.count);
+    const auto rank = [&](double q) {
+      const auto i = static_cast<std::size_t>(
+          std::max<long long>(0, static_cast<long long>(q * static_cast<double>(s.count) + 0.999999) - 1));
+      return samples[std::min(i, s.count - 1)];
+    };
+    s.p50 = rank(0.50);
+    s.p95 = rank(0.95);
+    s.min = samples.front();
+    s.max = samples.back();
+    return s;
+  }
+
+  std::vector<double> closure_, pricing_, solve_, total_;
+  std::size_t cache_hits_ = 0;
+  std::size_t repairs_ = 0;
+  std::size_t infeasible_ = 0;
+};
+
+}  // namespace sofe::api

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sofe/api/report.hpp"
 #include "sofe/online/simulator.hpp"
 #include "sofe/util/stopwatch.hpp"
 
@@ -23,28 +24,93 @@ OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
 namespace sofe::api {
 
 const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
-                                                    const std::vector<NodeId>& hubs, int threads,
+                                                    const std::vector<NodeId>& hubs,
+                                                    const ClosureRequest& req,
                                                     SolveReport& report) {
   report.closure_hubs = static_cast<int>(hubs.size());
   const auto edges = g.edges();
-  const bool hit =
-      valid_ && key_nodes_ == g.node_count() && key_edges_.size() == edges.size() &&
-      key_hubs_ == hubs &&
+
+  // Structural part of the key: node count + edge endpoints.  Costs are
+  // compared edge by edge below, and the differing ones ARE the arc-delta
+  // list the repair path consumes.
+  const bool structure_same =
+      valid_ && closure_.bounded() == req.bounded && key_nodes_ == g.node_count() &&
+      key_edges_.size() == edges.size() &&
       std::equal(edges.begin(), edges.end(), key_edges_.begin(),
                  [](const graph::Edge& a, const graph::Edge& b) {
-                   return a.u == b.u && a.v == b.v && a.cost == b.cost;
+                   return a.u == b.u && a.v == b.v;
                  });
-  report.closure_cache_hit = hit;
-  if (hit) return closure_;
+
+  deltas_.clear();
+  missing_.clear();
+  bool hubs_ok = false;
+  if (structure_same) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].cost != key_edges_[i].cost) {
+        deltas_.push_back(graph::EdgeCostDelta{static_cast<graph::EdgeId>(i),
+                                               key_edges_[i].cost, edges[i].cost});
+      }
+    }
+    if (req.incremental && !req.bounded) {
+      // Union semantics: only hubs without a stored tree matter.  Stale
+      // extra hubs from earlier acquires are invisible to queries (each
+      // tree is independent) and get repaired along with the rest.
+      for (NodeId h : hubs) {
+        if (!closure_.is_hub(h)) missing_.push_back(h);
+      }
+      hubs_ok = missing_.empty();
+    } else {
+      // Strict semantics: the exact hub sequence (and, when bounded, the
+      // exact settle-target sequence — the truncation scope is part of
+      // what the cached trees mean).
+      hubs_ok = key_hubs_ == hubs &&
+                (!req.bounded ||
+                 (key_targets_.size() == req.settle_targets.size() &&
+                  std::equal(key_targets_.begin(), key_targets_.end(),
+                             req.settle_targets.begin())));
+    }
+  }
+  report.closure_delta_edges = static_cast<int>(deltas_.size());
+
+  if (structure_same && hubs_ok && deltas_.empty()) {
+    report.closure_cache_hit = true;
+    return closure_;
+  }
+  report.closure_cache_hit = false;
 
   const util::Stopwatch watch;
   g.ensure_csr();  // make subsequent csr() reads safe for worker threads
-  closure_.build(g, hubs, threads, &engine_);
+
+  // Repair-vs-rebuild: repair scales with the affected region, a rebuild
+  // with |hubs| * (V + E); past a quarter of the edges changing, affected
+  // regions approach whole trees and the rebuild's sequential sweeps win.
+  const bool repairable = structure_same && req.incremental && !req.bounded &&
+                          deltas_.size() * 4 <= edges.size();
+  if (repairable) {
+    closure_.retain(hubs);  // churned-out hubs stop costing a repair per solve
+    closure_.refresh(g, deltas_, req.threads, &engine_);
+    if (!missing_.empty()) closure_.extend(g, missing_, req.threads, &engine_);
+    report.closure_repaired = true;
+    report.closure_hubs_added = static_cast<int>(missing_.size());
+    for (const graph::EdgeCostDelta& d : deltas_) {
+      key_edges_[static_cast<std::size_t>(d.edge)].cost = d.new_cost;
+    }
+    // retain + extend leave the stored hub set exactly equal to `hubs`, so
+    // the strict key must follow — a later non-incremental acquire compares
+    // against it and must not falsely hit on a closure whose trees changed.
+    key_hubs_ = hubs;
+  } else {
+    graph::ClosureScope scope;
+    scope.bounded = req.bounded;
+    scope.extra_targets = req.settle_targets;
+    closure_.build(g, hubs, req.threads, &engine_, scope);
+    key_nodes_ = g.node_count();
+    key_edges_.assign(edges.begin(), edges.end());
+    key_hubs_ = hubs;
+    key_targets_.assign(req.settle_targets.begin(), req.settle_targets.end());
+    valid_ = true;
+  }
   report.closure_seconds = watch.seconds();
-  key_nodes_ = g.node_count();
-  key_edges_.assign(edges.begin(), edges.end());
-  key_hubs_ = hubs;
-  valid_ = true;
   return closure_;
 }
 
@@ -57,6 +123,7 @@ ServiceForest Solver::solve(const Problem& p) {
   report_.total_seconds = watch.seconds();
   report_.feasible = !f.empty();
   report_.total_cost = report_.feasible ? core::total_cost(p, f) : 0.0;
+  if (sink_ != nullptr) sink_->add(report_);
   return f;
 }
 

@@ -15,6 +15,7 @@
 // dist::distributed_sofda, exact::solve_exact) remain as one-shot shims;
 // solvers are obtained by name through the SolverRegistry (registry.hpp).
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,22 @@ struct SolverOptions {
   steiner::Algorithm steiner = steiner::Algorithm::kMehlhorn;
   bool shorten = true;  // apply the pass-through shortening post-step
   int threads = 1;      // solver-wide: closure build + chain pricing workers
+  /// Delta-aware session cache (DESIGN.md §8): when only edge costs changed
+  /// since the cached closure was built, repair its trees in place
+  /// (ShortestPathEngine::repair) instead of rebuilding, and grow the hub
+  /// set incrementally instead of keying on the exact hub sequence.  Like
+  /// `threads` this is purely a speed knob: repaired trees are bit-identical
+  /// to rebuilt ones (tested), so results never depend on it.  Off restores
+  /// the strict rebuild-on-any-change session of the pre-incremental API
+  /// (the bench's recomputing baseline).
+  bool incremental = true;
+  /// Build session closures bounded: every hub tree stops once all hubs and
+  /// all destinations are settled (run_until_settled).  Exact for every
+  /// query SOFDA pricing and re-homing perform, and cheaper on large graphs
+  /// with clustered hubs, but truncated trees cannot be repaired — bounded
+  /// sessions rebuild on every cost change, so prefer `incremental` for
+  /// arrival streams and `bounded_closure` for one-shot solves.
+  bool bounded_closure = false;
   exact::ExactLimits exact_limits;  // the "exact" solver's search budget
 
   /// View for the procedural (core/baselines/dist) layers.
@@ -85,34 +102,61 @@ struct SolveReport {
   int bnb_nodes = 0;           //   branch-and-bound tree size
 
   bool closure_cache_hit = false;  // session cache: closure reused as-is
-  int closure_hubs = 0;            //   hub count of the active closure
+  bool closure_repaired = false;   //   cost deltas repaired in place
+  int closure_hubs = 0;            //   hub count requested of the closure
+  int closure_delta_edges = 0;     //   edges whose cost changed since cached
+  int closure_hubs_added = 0;      //   hubs newly built by an incremental acquire
 
-  double closure_seconds = 0.0;  // hub-tree (re)construction
+  double closure_seconds = 0.0;  // hub-tree (re)construction or repair
   double pricing_seconds = 0.0;  // candidate-chain pricing (SOFDA)
   double solve_seconds = 0.0;    // everything after pricing
   double total_seconds = 0.0;    // full solve() wall time
 };
 
+/// Per-acquire parameters of the session closure cache.
+struct ClosureRequest {
+  int threads = 1;           // as in MetricClosure::build
+  bool incremental = true;   // SolverOptions::incremental
+  bool bounded = false;      // SolverOptions::bounded_closure
+  /// Extra settle targets of a bounded build (SOFDA passes the
+  /// destinations); ignored when !bounded.  The span must stay alive for
+  /// the duration of the acquire call only.
+  std::span<const NodeId> settle_targets;
+};
+
 /// Session-scoped MetricClosure cache shared by the concrete solvers.
 ///
 /// `acquire` returns a closure holding Dijkstra trees for `hubs` over `g`,
-/// rebuilding only when the inputs actually changed.  The cache key is the
-/// exact (node count, edge list incl. costs, hub sequence) triple rather
-/// than (graph pointer, Graph::version()): version counters are copied
-/// along with the graph, so two per-arrival Problem copies in the online
-/// simulator can carry the *same* version at the *same* stack address with
-/// different link prices — an exact key is what makes the session safe to
-/// point at any Problem.  The O(E + hubs) comparison is noise next to one
-/// Dijkstra.  On a miss the closure rebuilds in place, reusing tree storage
-/// and the session engine's heap/label workspaces (cost-only mutations thus
-/// recompute trees with zero steady-state allocation); on a hit the solve
-/// skips closure construction entirely.
+/// recomputing only what actually changed.  The cache key is the exact
+/// (node count, edge list incl. costs, hub membership) value rather than
+/// (graph pointer, Graph::version()): version counters travel with Problem
+/// copies, so two graphs can carry the same version at the same address
+/// with different link prices — an exact key is what makes the session safe
+/// to point at any Problem.  The O(E + hubs) comparison is noise next to
+/// one Dijkstra, and it is exactly what produces the arc-delta list the
+/// incremental path feeds to MetricClosure::refresh.
+///
+/// Outcomes of an incremental acquire (DESIGN.md §8):
+///   * hit        — same structure, same costs, all hubs present: reuse.
+///   * repair     — same structure, few cost deltas: repair every cached
+///                  tree in place and build only the missing hubs.  The
+///                  cached hub set is the UNION of requested sets (an
+///                  arrival stream's VM hubs persist while source hubs
+///                  churn); stale extra hubs are repaired along and are
+///                  invisible to queries.
+///   * rebuild    — structural change, hub-set cold start, or a delta list
+///                  above the repair threshold (quarter of the edges: past
+///                  that the affected regions approach whole trees and a
+///                  rebuild's linear sweeps win).
+/// Non-incremental sessions (SolverOptions::incremental = false) and
+/// bounded closures key on the exact hub sequence (+ settle targets) and
+/// only ever hit or rebuild.
 class ClosureSession {
  public:
-  /// `threads` as in MetricClosure.  Updates report.closure_cache_hit,
-  /// report.closure_hubs and report.closure_seconds.
+  /// Updates report.closure_cache_hit/_repaired/_hubs/_delta_edges/
+  /// _hubs_added and report.closure_seconds.
   const graph::MetricClosure& acquire(const graph::Graph& g, const std::vector<NodeId>& hubs,
-                                      int threads, SolveReport& report);
+                                      const ClosureRequest& req, SolveReport& report);
 
   /// Drops the cached closure (the next acquire rebuilds).
   void invalidate() { valid_ = false; }
@@ -127,8 +171,13 @@ class ClosureSession {
   bool valid_ = false;
   NodeId key_nodes_ = 0;
   std::vector<graph::Edge> key_edges_;
-  std::vector<NodeId> key_hubs_;
+  std::vector<NodeId> key_hubs_;     // exact-sequence key (non-incremental/bounded)
+  std::vector<NodeId> key_targets_;  // bounded: the settle-target sequence
+  std::vector<graph::EdgeCostDelta> deltas_;  // scratch
+  std::vector<NodeId> missing_;               // scratch
 };
+
+class ReportAccumulator;
 
 /// Abstract solver session.  Concrete implementations live behind the
 /// SolverRegistry; all of them are deterministic in (problem, options) and
@@ -153,6 +202,12 @@ class Solver {
 
   const SolveReport& report() const noexcept { return report_; }
 
+  /// Optional aggregation sink: every finished solve()'s report is folded
+  /// into `sink` (report.hpp), so workloads that drive a session — the
+  /// online simulator, the bench sweeps — get per-phase breakdowns for
+  /// free.  Pass nullptr to detach.  The sink must outlive its use here.
+  void set_report_sink(ReportAccumulator* sink) noexcept { sink_ = sink; }
+
   SolverOptions& options() noexcept { return opt_; }
   const SolverOptions& options() const noexcept { return opt_; }
 
@@ -165,6 +220,7 @@ class Solver {
 
  private:
   SolveReport report_;
+  ReportAccumulator* sink_ = nullptr;
 };
 
 }  // namespace sofe::api

@@ -100,8 +100,12 @@ bool DynamicForest::destination_join(NodeId d, const AlgoOptions& opt) {
   // independent Dijkstra, so pooling candidates changes nothing in any
   // tree — and VM taps (the canonical zero-cost access links) are derived,
   // not recomputed, making the join cost one Dijkstra per distinct host
-  // instead of O(candidates · fresh VMs) full runs.
-  graph::MetricClosure closure;
+  // instead of O(candidates · fresh VMs) full runs.  Every query below is
+  // hub-to-hub (reachability, stroll pricing, path lifting; the suffix to
+  // the destination rides paths_from), so the build is BOUNDED: each run
+  // stops once all hubs are settled.  The closure object persists on the
+  // DynamicForest so consecutive joins reuse its tree storage.
+  graph::MetricClosure& closure = join_closure_;
   bool have_closure = false;
   if (static_cast<int>(fresh_vms.size()) >= 1) {
     std::vector<NodeId> hubs = fresh_vms;
@@ -111,7 +115,9 @@ bool DynamicForest::destination_join(NodeId d, const AlgoOptions& opt) {
         have_closure = true;
       }
     }
-    if (have_closure) closure.build(p_.network, hubs, 1, &engine_);
+    if (have_closure) {
+      closure.build(p_.network, hubs, 1, &engine_, graph::ClosureScope{/*bounded=*/true, {}});
+    }
   }
 
   for (const Candidate& cand : cands) {
@@ -256,7 +262,25 @@ bool DynamicForest::vnf_insert(int j, const AlgoOptions& opt) {
 }
 
 int DynamicForest::reroute_link(EdgeId e, Cost new_cost) {
-  p_.network.set_edge_cost(e, new_cost);  // bumps version(); cache self-invalidates
+  const Cost old_cost = p_.network.edge(e).cost;
+  p_.network.set_edge_cost(e, new_cost);  // bumps version()
+  // Repair every cached tree in place instead of letting the version bump
+  // flush the cache: one congested link is exactly the delta the engine's
+  // incremental mode is built for, and the re-route scan below queries
+  // trees from many anchors.  Requires the cache to have been current
+  // before the mutation (cache_version_ + 1) and the engine to be bound to
+  // this problem's network; otherwise paths_from's self-invalidation takes
+  // over as before.
+  if (engine_.graph() == &p_.network && cache_version_ + 1 == p_.network.version()) {
+    if (new_cost != old_cost) {
+      const graph::EdgeCostDelta delta{e, old_cost, new_cost};
+      for (auto& [root, tree] : path_cache_) {
+        (void)root;
+        engine_.repair(tree, {&delta, 1});
+      }
+    }
+    cache_version_ = p_.network.version();
+  }
   const NodeId eu = p_.network.edge(e).u;
   const NodeId ev = p_.network.edge(e).v;
 

@@ -26,6 +26,7 @@
 #include "sofe/core/chain_walk.hpp"
 #include "sofe/core/forest.hpp"
 #include "sofe/core/validate.hpp"
+#include "sofe/graph/metric_closure.hpp"
 #include "sofe/graph/shortest_path_engine.hpp"
 
 namespace sofe::core {
@@ -63,12 +64,16 @@ class DynamicForest {
 
  private:
   /// Shortest-path tree from `from`, built through the shared engine and
-  /// cached per graph version: any mutation of the network (set_edge_cost in
-  /// reroute_link, structural edits) bumps Graph::version(), and the cache
-  /// drops itself on the next query — no manual invalidation calls to
-  /// forget.  Several trees stay live at once (join/insert/migrate compare
-  /// distances from multiple anchors), hence the per-source cache on top of
-  /// the engine rather than the engine's single reusable tree.
+  /// cached per graph version: any mutation of the network (structural
+  /// edits) bumps Graph::version(), and the cache drops itself on the next
+  /// query — no manual invalidation calls to forget.  reroute_link is the
+  /// exception it is built for: a single set_edge_cost there REPAIRS every
+  /// cached tree in place (ShortestPathEngine::repair) and advances the
+  /// cache version, so the re-route scans that follow reuse trees instead
+  /// of recomputing them from scratch.  Several trees stay live at once
+  /// (join/insert/migrate compare distances from multiple anchors), hence
+  /// the per-source cache on top of the engine rather than the engine's
+  /// single reusable tree.
   const graph::ShortestPathTree& paths_from(NodeId from);
 
   Problem p_;
@@ -76,6 +81,7 @@ class DynamicForest {
   graph::ShortestPathEngine engine_;
   std::map<NodeId, graph::ShortestPathTree> path_cache_;
   std::uint64_t cache_version_ = 0;
+  graph::MetricClosure join_closure_;  // destination_join's storage, reused across joins
 };
 
 }  // namespace sofe::core

@@ -3,6 +3,8 @@
 // per-link bandwidth and per-DC host utilization, and converts them into
 // Fortz-Thorup costs for the next request's problem instance.
 
+#include <algorithm>
+#include <cassert>
 #include <vector>
 
 #include "sofe/costmodel/fortz_thorup.hpp"
@@ -29,6 +31,21 @@ class LoadLedger {
     link_load_[static_cast<std::size_t>(e)] += mbps;
   }
   void add_host_load(std::size_t host, double vnfs) { host_load_[host] += vnfs; }
+
+  /// Departure bookkeeping (the online simulator's cost-restore path): a
+  /// request that leaves returns exactly the bandwidth/VNF slots it was
+  /// charged, so the next price refresh emits downward cost deltas.
+  /// Removing more than was added is a caller bug (asserted, clamped).
+  void remove_link_load(EdgeId e, double mbps) {
+    auto& load = link_load_[static_cast<std::size_t>(e)];
+    assert(load + 1e-9 >= mbps && "removing more link load than was charged");
+    load = std::max(0.0, load - mbps);
+  }
+  void remove_host_load(std::size_t host, double vnfs) {
+    auto& load = host_load_[host];
+    assert(load + 1e-9 >= vnfs && "removing more host load than was charged");
+    load = std::max(0.0, load - vnfs);
+  }
 
   double link_load(EdgeId e) const { return link_load_[static_cast<std::size_t>(e)]; }
   double link_utilization(EdgeId e) const { return link_load(e) / link_capacity_; }

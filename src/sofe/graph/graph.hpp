@@ -45,6 +45,21 @@ struct Arc {
   EdgeId edge = kInvalidEdge;
 };
 
+/// Record of one edge-cost mutation: the input of the incremental shortest-
+/// path machinery (ShortestPathEngine::repair, MetricClosure::refresh,
+/// api::ClosureSession).  `new_cost` must equal the edge's current cost in
+/// the graph the consumer is attached to; `old_cost` is the value the
+/// derived structure (tree, closure) was computed against.  At most one
+/// delta per edge — a caller that mutates the same edge twice folds the
+/// pair into one record.  A cost of kInfiniteCost is legal and acts as a
+/// soft edge removal (infinite arcs never relax), so disconnect/reconnect
+/// is expressible as a cost delta.
+struct EdgeCostDelta {
+  EdgeId edge = kInvalidEdge;
+  Cost old_cost = 0.0;
+  Cost new_cost = 0.0;
+};
+
 /// One CSR adjacency entry: head node, edge id and the edge's cost packed
 /// into 16 bytes, so a relaxation reads one cache line per few arcs and
 /// never touches the Edge array.

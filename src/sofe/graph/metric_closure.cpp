@@ -36,45 +36,221 @@ void derive_tap_tree(const ShortestPathTree& host_tree, NodeId v, NodeId h, Edge
   out.parent_edge[static_cast<std::size_t>(h)] = e;
 }
 
+/// Derives tap v1's tree from SIBLING tap v0's tree — both zero-cost
+/// degree-1 taps of the same host h (v0 via e0, v1 via e1).  The two runs
+/// share every label: both settle their own root, then h, then the rest of
+/// the dist-0 plateau and the graph in an identical sequence (a tap's only
+/// arc leads to h, so relaxations from other taps never matter).  Only
+/// three parents differ: v1 becomes the root, h hangs off v1, and v0 hangs
+/// off h the way every non-root tap does.  Used by refresh(), where the
+/// host's own tree is usually not stored — one repaired representative
+/// carries its whole sibling group.
+void derive_sibling_tap_tree(const ShortestPathTree& rep_tree, NodeId v0, EdgeId e0, NodeId v1,
+                             EdgeId e1, NodeId h, ShortestPathTree& out) {
+  out = rep_tree;
+  out.source = v1;
+  out.parent[static_cast<std::size_t>(v1)] = kInvalidNode;
+  out.parent_edge[static_cast<std::size_t>(v1)] = kInvalidEdge;
+  out.parent[static_cast<std::size_t>(h)] = v1;
+  out.parent_edge[static_cast<std::size_t>(h)] = e1;
+  out.parent[static_cast<std::size_t>(v0)] = h;
+  out.parent_edge[static_cast<std::size_t>(v0)] = e0;
+}
+
 }  // namespace
 
 void MetricClosure::build(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
-                          ShortestPathEngine* engine) {
-  // Dedupe in first-seen order; every unique hub gets a preassigned tree
-  // slot, so the parallel build below writes disjoint, fixed locations.
-  // Rebuilds reuse trees_ elements (and their vector capacities) in place.
+                          ShortestPathEngine* engine, ClosureScope scope) {
   tree_index_.clear();
-  std::vector<NodeId> unique_hubs;
-  unique_hubs.reserve(hubs.size());
-  for (NodeId h : hubs) {
-    if (tree_index_.contains(h)) continue;
-    tree_index_.emplace(h, unique_hubs.size());
-    unique_hubs.push_back(h);
+  bounded_ = scope.bounded;
+  settle_targets_.clear();
+  if (bounded_) {
+    // The settle set of every run: all hubs plus the caller's extra targets
+    // (duplicates are fine; the engine counts distinct marks).
+    settle_targets_.assign(hubs.begin(), hubs.end());
+    settle_targets_.insert(settle_targets_.end(), scope.extra_targets.begin(),
+                           scope.extra_targets.end());
   }
-  trees_.resize(unique_hubs.size());
+  build_or_extend(g, hubs, num_threads, engine, /*rebuild=*/true);
+}
 
-  // Classify hubs: a zero-cost degree-1 tap is derived from its host's tree
-  // instead of running its own Dijkstra — unless the host is itself a tap
-  // hub (two taps joined by one zero-cost edge), where both run fully.
+void MetricClosure::extend(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
+                           ShortestPathEngine* engine) {
+  assert(!bounded_ && "bounded closures have a fixed settle scope; rebuild instead");
+  build_or_extend(g, hubs, num_threads, engine, /*rebuild=*/false);
+}
+
+void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> deltas,
+                            int num_threads, ShortestPathEngine* engine) {
+  assert(!bounded_ && "truncated trees cannot be repaired; rebuild instead");
+  if (deltas.empty() || trees_.empty()) return;
+
+  // Tap-aware repair plan, mirroring the build's derivation: a zero-cost
+  // degree-1 tap shares every label with its host, so one repaired
+  // representative per distinct host carries its whole tap group — the
+  // rest re-derive by copy.  Without this a SOFDA hub set (vms_per_dc
+  // taps per DC) would pay vms_per_dc repairs where the build pays one
+  // Dijkstra.  Classification uses the CURRENT graph: an edge repriced
+  // away from zero simply demotes its tap to an individual repair.
+  // NOTE: the case analysis (host stored / mutual zero-cost pair / sibling
+  // group) must stay in lockstep with build_or_extend's tap rules above —
+  // both encode the same "derivation is exact unless the host chases back
+  // into a tap" invariant.
+  const std::size_t n_slots = trees_.size();
+  std::vector<NodeId> slot_hub(n_slots, kInvalidNode);
+  for (const auto& [hub, slot] : tree_index_) slot_hub[slot] = hub;
+
   struct Tap {
     NodeId host = kInvalidNode;
     EdgeId edge = kInvalidEdge;
   };
-  std::vector<Tap> taps(unique_hubs.size());
-  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
-    const Arc a = zero_cost_tap(g, unique_hubs[i]);
+  std::vector<Tap> taps(n_slots);
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    const Arc a = zero_cost_tap(g, slot_hub[i]);
     if (a.edge != kInvalidEdge) taps[i] = Tap{a.to, a.edge};
   }
-  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
-    if (taps[i].host == kInvalidNode) continue;
-    const auto it = tree_index_.find(taps[i].host);
-    if (it != tree_index_.end() && taps[it->second].host != kInvalidNode) {
-      taps[i] = Tap{};  // host is itself a tap hub; run this one fully
+  const auto is_tap_hub = [&](NodeId v) {
+    const auto it = tree_index_.find(v);
+    return it != tree_index_.end() && taps[it->second].host != kInvalidNode;
+  };
+
+  // For every tap, the slot whose repaired tree it derives from: the
+  // host's own tree when stored (and not itself a tap — the mutual-pair
+  // degenerate repairs individually), else the first sibling of its host
+  // group.  That first sibling repairs as the group's representative.
+  struct Job {
+    std::size_t slot;
+    std::size_t from = SIZE_MAX;  // SIZE_MAX: repair; else derive from slot
+  };
+  std::vector<std::size_t> repairs;
+  std::vector<Job> derives;
+  std::unordered_map<NodeId, std::size_t> group_rep;  // non-stored host -> slot
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    const Tap& t = taps[i];
+    if (t.host == kInvalidNode) {
+      repairs.push_back(i);
+      continue;
+    }
+    const auto host_it = tree_index_.find(t.host);
+    if (host_it != tree_index_.end()) {
+      if (is_tap_hub(t.host)) {
+        repairs.push_back(i);  // mutual zero-cost pair; no derivation
+      } else {
+        derives.push_back(Job{i, host_it->second});
+      }
+      continue;
+    }
+    const auto [rep, fresh] = group_rep.emplace(t.host, i);
+    if (fresh) {
+      repairs.push_back(i);  // first tap of the group: the representative
+    } else {
+      derives.push_back(Job{i, rep->second});
     }
   }
 
-  // The full-run worklist: every non-tap hub (into its slot) plus every
-  // distinct tap host that is not already a hub (into side storage).
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(num_threads, 1)), std::max<std::size_t>(repairs.size(), 1));
+  if (workers <= 1) {
+    ShortestPathEngine local;
+    ShortestPathEngine& eng = engine != nullptr ? *engine : local;
+    eng.attach(g);
+    for (std::size_t i : repairs) eng.repair(trees_[i], deltas);
+  } else {
+    g.ensure_csr();  // the lazy csr() cost refresh is not thread-safe on a miss
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        ShortestPathEngine worker(g);
+        for (std::size_t i = w; i < repairs.size(); i += workers) {
+          worker.repair(trees_[repairs[i]], deltas);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const Job& job : derives) {
+    const NodeId v = slot_hub[job.slot];
+    const Tap& t = taps[job.slot];
+    const NodeId from_hub = slot_hub[job.from];
+    if (from_hub == t.host) {
+      derive_tap_tree(trees_[job.from], v, t.host, t.edge, trees_[job.slot]);
+    } else {
+      derive_sibling_tap_tree(trees_[job.from], from_hub, taps[job.from].edge, v, t.edge,
+                              t.host, trees_[job.slot]);
+    }
+  }
+}
+
+void MetricClosure::retain(const std::vector<NodeId>& hubs) {
+  assert(!bounded_ && "bounded closures have a fixed hub scope; rebuild instead");
+  std::unordered_map<NodeId, char> keep;
+  keep.reserve(hubs.size());
+  for (NodeId h : hubs) keep.emplace(h, 0);
+  if (keep.size() >= tree_index_.size()) {
+    bool all_kept = true;
+    for (const auto& [hub, slot] : tree_index_) {
+      (void)slot;
+      all_kept = all_kept && keep.contains(hub);
+    }
+    if (all_kept) return;  // nothing stale — the common steady state
+  }
+  std::vector<NodeId> slot_hub(trees_.size(), kInvalidNode);
+  for (const auto& [hub, slot] : tree_index_) slot_hub[slot] = hub;
+  std::vector<ShortestPathTree> kept;
+  kept.reserve(trees_.size());
+  tree_index_.clear();
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    if (!keep.contains(slot_hub[i])) continue;
+    tree_index_.emplace(slot_hub[i], kept.size());
+    kept.push_back(std::move(trees_[i]));
+  }
+  trees_ = std::move(kept);
+}
+
+void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& hubs,
+                                    int num_threads, ShortestPathEngine* engine, bool rebuild) {
+  // Dedupe the NEW hubs in first-seen order against whatever is already
+  // indexed; every new hub gets a preassigned tree slot, so the parallel
+  // build below writes disjoint, fixed locations.  Rebuilds (base == 0)
+  // reuse trees_ elements (and their vector capacities) in place.
+  const std::size_t base = rebuild ? 0 : trees_.size();
+  std::vector<NodeId> fresh;
+  fresh.reserve(hubs.size());
+  for (NodeId h : hubs) {
+    if (tree_index_.contains(h)) continue;
+    tree_index_.emplace(h, base + fresh.size());
+    fresh.push_back(h);
+  }
+  trees_.resize(base + fresh.size());
+
+  // Classify the new hubs: a zero-cost degree-1 tap is derived from its
+  // host's tree instead of running its own Dijkstra — unless the host is a
+  // tap hub being built in this same batch (two taps joined by one
+  // zero-cost edge would chase each other), where both run fully.  A host
+  // whose tree already exists (slot < base) is always usable: stored trees
+  // equal full runs, derived or not.
+  struct Tap {
+    NodeId host = kInvalidNode;
+    EdgeId edge = kInvalidEdge;
+  };
+  std::vector<Tap> taps(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const Arc a = zero_cost_tap(g, fresh[i]);
+    if (a.edge != kInvalidEdge) taps[i] = Tap{a.to, a.edge};
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (taps[i].host == kInvalidNode) continue;
+    const auto it = tree_index_.find(taps[i].host);
+    if (it != tree_index_.end() && it->second >= base &&
+        taps[it->second - base].host != kInvalidNode) {
+      taps[i] = Tap{};  // host is itself a new tap hub; run this one fully
+    }
+  }
+
+  // The full-run worklist: every new non-tap hub (into its slot) plus every
+  // distinct tap host that is not a hub at all (into side storage).
   struct Run {
     NodeId root = kInvalidNode;
     ShortestPathTree* out = nullptr;
@@ -82,8 +258,8 @@ void MetricClosure::build(const Graph& g, const std::vector<NodeId>& hubs, int n
   std::vector<Run> runs;
   std::unordered_map<NodeId, std::size_t> extra_index;  // non-hub host -> slot
   std::vector<ShortestPathTree> extra_trees;
-  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
-    if (taps[i].host == kInvalidNode) runs.push_back(Run{unique_hubs[i], &trees_[i]});
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (taps[i].host == kInvalidNode) runs.push_back(Run{fresh[i], &trees_[base + i]});
   }
   for (const Tap& t : taps) {
     if (t.host == kInvalidNode || tree_index_.contains(t.host)) continue;
@@ -102,36 +278,38 @@ void MetricClosure::build(const Graph& g, const std::vector<NodeId>& hubs, int n
     runs.push_back(Run{t.host, &extra_trees[it->second]});
   }
 
+  const std::span<const NodeId> stop = bounded_ ? std::span<const NodeId>(settle_targets_)
+                                                : std::span<const NodeId>{};
   const std::size_t workers = std::min<std::size_t>(
       static_cast<std::size_t>(std::max(num_threads, 1)), std::max<std::size_t>(runs.size(), 1));
   if (workers <= 1) {
     ShortestPathEngine local;
     ShortestPathEngine& eng = engine != nullptr ? *engine : local;
     eng.attach(g);
-    for (const Run& r : runs) eng.run_into(r.root, *r.out);
+    for (const Run& r : runs) eng.run_into(r.root, *r.out, stop);
   } else {
     g.ensure_csr();  // the lazy csr() rebuild is not thread-safe on a miss
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
-        ShortestPathEngine engine(g);
+        ShortestPathEngine worker(g);
         for (std::size_t i = w; i < runs.size(); i += workers) {
-          engine.run_into(runs[i].root, *runs[i].out);
+          worker.run_into(runs[i].root, *runs[i].out, stop);
         }
       });
     }
     for (std::thread& t : pool) t.join();
   }
 
-  // Derive every tap hub from its host's finished tree (memcpy-bound).
-  for (std::size_t i = 0; i < unique_hubs.size(); ++i) {
+  // Derive every new tap hub from its host's finished tree (memcpy-bound).
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
     const Tap& t = taps[i];
     if (t.host == kInvalidNode) continue;
     const auto it = tree_index_.find(t.host);
     const ShortestPathTree& host_tree =
         it != tree_index_.end() ? trees_[it->second] : extra_trees[extra_index.at(t.host)];
-    derive_tap_tree(host_tree, unique_hubs[i], t.host, t.edge, trees_[i]);
+    derive_tap_tree(host_tree, fresh[i], t.host, t.edge, trees_[base + i]);
   }
 }
 

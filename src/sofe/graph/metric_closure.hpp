@@ -8,6 +8,7 @@
 // each hub's Dijkstra tree once and shares it.
 
 #include <cassert>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +18,18 @@
 namespace sofe::graph {
 
 class ShortestPathEngine;
+
+/// Settle scope of a closure build.  The default builds complete trees.
+/// `bounded = true` stops every hub run once all hubs (plus
+/// `extra_targets`) are settled — exact for every hub-to-hub / hub-to-
+/// target distance AND path (parents settle first), undefined beyond.
+/// SOFDA pricing only ever queries hubs and destinations, so its closures
+/// can be bounded (SolverOptions::bounded_closure); bounded closures are
+/// NOT repairable (refresh asserts) and not extendable.
+struct ClosureScope {
+  bool bounded = false;
+  std::span<const NodeId> extra_targets;
+};
 
 class MetricClosure {
  public:
@@ -56,9 +69,46 @@ class MetricClosure {
   /// without reallocating their O(hubs · V) arrays.  When `engine` is given
   /// it runs the single-threaded build (persistent heap/label workspaces —
   /// api::ClosureSession passes its session engine); parallel builds use
-  /// one worker-local engine per thread regardless.
+  /// one worker-local engine per thread regardless.  `scope` optionally
+  /// bounds every run to settle-all-hubs (see ClosureScope).
   void build(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1,
-             ShortestPathEngine* engine = nullptr);
+             ShortestPathEngine* engine = nullptr, ClosureScope scope = {});
+
+  /// Adds trees for the hubs of `hubs` not yet present, leaving existing
+  /// trees untouched — the incremental half of api::ClosureSession: across
+  /// an online arrival stream the VM hubs persist while the sampled source
+  /// hubs churn, so each acquire builds only the handful of new roots.
+  /// Every tree is an independent Dijkstra (tap hubs derive from their
+  /// host's tree, which may already be stored), so a closure grown by any
+  /// build+extend sequence is per-tree bit-identical to a one-shot build.
+  /// Not available on bounded closures (asserted): their truncation scope
+  /// is fixed at build time.
+  void extend(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1,
+              ShortestPathEngine* engine = nullptr);
+
+  /// Repairs the stored trees in place after the edge-cost mutations in
+  /// `deltas` (ShortestPathEngine::repair preconditions apply: the closure
+  /// must have been built against the old costs over this same graph
+  /// structure, complete trees only).  Bit-identical to a full rebuild at
+  /// the new costs.  Like the build, the repair is tap-aware: one repaired
+  /// representative per distinct zero-cost-tap host carries its whole tap
+  /// group by re-derivation, so the repair count matches the build's
+  /// Dijkstra count rather than the (vms_per_dc times larger) tree count.
+  /// Threading stripes the representative repairs over workers.
+  void refresh(const Graph& g, std::span<const EdgeCostDelta> deltas, int num_threads = 1,
+               ShortestPathEngine* engine = nullptr);
+
+  /// Drops every stored tree whose hub is not in `hubs` (kept trees stay
+  /// in slot order).  The session's repair path calls this before refresh
+  /// so hubs that churned out of the working set — an arrival stream's
+  /// stale source hubs — stop costing one repair per solve.
+  void retain(const std::vector<NodeId>& hubs);
+
+  /// Whether this closure was built with a bounded scope (truncated trees).
+  bool bounded() const noexcept { return bounded_; }
+
+  /// Number of stored hub trees (diagnostics).
+  std::size_t hub_count() const noexcept { return trees_.size(); }
 
   /// Shortest-path distance from hub `from` to any node `to`.
   /// Requires `from` to be a hub.
@@ -80,8 +130,13 @@ class MetricClosure {
   }
 
  private:
+  void build_or_extend(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
+                       ShortestPathEngine* engine, bool rebuild);
+
   std::vector<ShortestPathTree> trees_;
   std::unordered_map<NodeId, std::size_t> tree_index_;
+  bool bounded_ = false;
+  std::vector<NodeId> settle_targets_;  // bounded builds: hubs ∪ extra targets
 };
 
 }  // namespace sofe::graph

@@ -75,6 +75,19 @@ class ShortestPathEngine {
     return run_impl(source, kInvalidNode, limit);
   }
 
+  /// Dijkstra that stops once every node in `targets` is settled (duplicates
+  /// tolerated; unreachable targets simply exhaust the graph).  dist/parent
+  /// are exact for every settled node — in particular for every reachable
+  /// target AND every node on a shortest path to one, since parents settle
+  /// first — the remaining entries are tentative, as in run_to.  This is
+  /// the engine-owned face of the stop-when-all-hubs-settled mode; bounded
+  /// MetricClosure builds (ClosureScope, which is how chain pricing gets
+  /// truncated hub trees) use the identical truncation through run_into's
+  /// `stop_targets` parameter, since closure trees are caller-owned.
+  const ShortestPathTree& run_until_settled(NodeId source, std::span<const NodeId> targets) {
+    return run_impl(source, kInvalidNode, kInfiniteCost, targets);
+  }
+
   /// Exact point-to-point distance (targeted run; +inf when unreachable).
   Cost distance(NodeId source, NodeId target) {
     return run_to(source, target).dist[static_cast<std::size_t>(target)];
@@ -83,8 +96,34 @@ class ShortestPathEngine {
   /// Full single-source Dijkstra written into caller-owned storage (the
   /// persistence path: MetricClosure hub trees, DynamicForest's cache).
   /// Only the heap workspace is engine-shared, so `out` is a standalone
-  /// ShortestPathTree with no tie to the engine's lifetime.
-  void run_into(NodeId source, ShortestPathTree& out);
+  /// ShortestPathTree with no tie to the engine's lifetime.  A non-empty
+  /// `stop_targets` truncates the run as in run_until_settled (bounded
+  /// MetricClosure builds); truncated trees are NOT repairable.
+  void run_into(NodeId source, ShortestPathTree& out, std::span<const NodeId> stop_targets = {});
+
+  /// Per-repair effect counters (diagnostics; tests and the repair-vs-
+  /// rebuild heuristics consume them).
+  struct RepairStats {
+    std::size_t invalidated = 0;  // nodes orphaned by increased tree arcs
+    std::size_t improved = 0;     // nodes whose dist was otherwise rewritten
+    std::size_t reparented = 0;   // nodes whose parent arc changed
+  };
+
+  /// Delta-aware repair (Ramalingam–Reps style; DESIGN.md §8).  `tree` must
+  /// be a COMPLETE tree over the attached graph (produced by run/run_into
+  /// with no stop targets, or by a previous repair) computed when every
+  /// edge cost equaled its current value except those listed in `deltas`
+  /// (new_cost = current cost, old_cost = the cost the tree saw; at most
+  /// one delta per edge).  The tree is repaired in place: arcs that got
+  /// cheaper re-relax outward from their endpoints, subtrees hanging off
+  /// costlier tree arcs are invalidated and resettled from the surviving
+  /// frontier, and parents are re-derived canonically — including the
+  /// discovery-order tie-break inside zero-cost (more precisely,
+  /// distance-preserving) plateaus.  The result is bit-identical to a
+  /// fresh run from tree.source at the new costs: dist, parent and
+  /// parent_edge, every entry (tested by fuzz against run_into).  Cost is
+  /// proportional to the affected region plus |deltas|, not to |V| + |E|.
+  RepairStats repair(ShortestPathTree& tree, std::span<const EdgeCostDelta> deltas);
 
   /// Multi-source Dijkstra (Mehlhorn's Voronoi partition).  Duplicate
   /// sources are tolerated; equal-distance ties deterministically assign
@@ -122,9 +161,14 @@ class ShortestPathEngine {
     EdgeId parent_edge;
   };
 
-  const ShortestPathTree& run_impl(NodeId source, NodeId target, Cost limit);
+  const ShortestPathTree& run_impl(NodeId source, NodeId target, Cost limit,
+                                   std::span<const NodeId> settle_targets = {});
   void reset_tree(std::size_t n);
   void reset_voronoi(std::size_t n);
+  /// Marks `targets` in target_mark_ and returns the distinct count;
+  /// clear_targets undoes the marks after a (possibly truncated) run.
+  std::size_t mark_targets(std::span<const NodeId> targets);
+  void clear_targets(std::span<const NodeId> targets);
 
   const Graph* g_ = nullptr;
   ShortestPathTree tree_;
@@ -135,6 +179,18 @@ class ShortestPathEngine {
   std::vector<NodeId> seeds_;
   std::vector<HeapItem> heap_;
   std::vector<MultiHeapItem> multi_heap_;
+  std::vector<std::uint8_t> target_mark_;  // run_until_settled scratch
+  // repair() workspaces: per-node state bits with a touched list for O(k)
+  // reset, plus worklists for subtree invalidation, parent fixup and
+  // plateau resolution.
+  std::vector<std::uint8_t> mark_;
+  std::vector<NodeId> mark_touched_;
+  std::vector<NodeId> stack_;
+  std::vector<NodeId> invalid_;
+  std::vector<NodeId> fix_;
+  std::vector<NodeId> plateau_heap_;
+  std::vector<NodeId> plateau_members_;
+  std::vector<NodeId> cand_members_;
 };
 
 }  // namespace sofe::graph

@@ -42,6 +42,18 @@ struct OnlineConfig {
   double host_capacity = 5.0;  // VNF slots per DC host
   double setup_scale = 3.0;
   std::uint64_t seed = 11;
+  /// Request lifetime in arrivals: > 0 means the request admitted at
+  /// arrival r departs before arrival r + holding_arrivals, returning its
+  /// bandwidth and VNF charges to the ledger — so the next price refresh
+  /// mutates the persistent Problem with cost-RESTORE deltas, exactly the
+  /// shape the session's incremental repair consumes.  0 (the default, and
+  /// the paper's Fig. 12 setting) means requests never depart.
+  int holding_arrivals = 0;
+  /// Differential-testing reference mode: hand every embedder a fresh
+  /// Problem copy per arrival instead of the persistent instance.  Output
+  /// must be bit-identical either way (tested) — the persistent path
+  /// differs only in what the session caches can reuse, never in values.
+  bool copy_problems = false;
 };
 
 struct OnlineResult {
@@ -54,16 +66,30 @@ struct OnlineResult {
 
 /// Runs the request sequence against one algorithm.  The identical sequence
 /// is regenerated from cfg.seed for every algorithm, so series are paired.
+///
+/// Persistent-Problem contract (DESIGN.md §8): the simulator builds ONE
+/// Problem — topology + VM taps — up front and mutates it in place per
+/// arrival (sources/destinations reassigned, only the link prices that
+/// actually moved rewritten via set_edge_cost, VM setup costs refreshed).
+/// No per-arrival copy exists, so the network keeps its CSR cache across
+/// arrivals and a solver session sees a cost-only delta between
+/// consecutive solves — which its ClosureSession detects and repairs
+/// instead of rebuilding.  Embedders receive the instance by const
+/// reference, may keep no pointers past the call, and the values they see
+/// are identical to the historical copy-per-arrival driver's
+/// (cfg.copy_problems restores that driver for differential tests).
 OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
                       const std::string& algo_name, const EmbedFn& embed);
 
 /// Runs the request sequence against a persistent solver session (the api
-/// layer).  Unlike the EmbedFn overload — which erases all state, so every
-/// arrival rebuilds its metric closure from scratch — the session carries
-/// its ShortestPathEngine and closure workspaces across arrivals: only link
-/// *prices* change between requests, so each refresh recomputes hub trees
-/// into already-sized storage.  The cost series is bit-identical to
-/// embedding each arrival with the equivalent free function (tested).
+/// layer).  With the persistent Problem above, consecutive arrivals differ
+/// by link-price deltas plus the sampled source hubs, so an incremental
+/// session (SolverOptions::incremental) repairs its hub trees per arrival
+/// and builds only the new source roots — arrival cost scales with the
+/// size of the price change, not the graph.  The cost series is
+/// bit-identical to embedding each arrival with the equivalent free
+/// function (tested).  Attach a ReportAccumulator via
+/// Solver::set_report_sink to collect per-arrival phase timings.
 OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
                       api::Solver& solver);
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "sofe/api/registry.hpp"
+#include "sofe/api/report.hpp"
 #include "sofe/baselines/baselines.hpp"
 #include "sofe/core/sofda.hpp"
 #include "sofe/core/sofda_ss.hpp"
@@ -184,14 +185,115 @@ TEST(Session, StructuralMutationInvalidatesTheClosure) {
   EXPECT_TRUE(forests_equal(f, core::sofda(p)));
 }
 
-TEST(Session, HubSetChangeInvalidatesTheClosure) {
+TEST(Session, HubSetShrinkReusesTheSupersetClosure) {
+  // Incremental sessions cache the UNION of hub sets: dropping a source
+  // leaves its (now unqueried) tree in place, so the shrunken request is a
+  // pure hit — and the result still matches the free function exactly,
+  // because every tree is an independent Dijkstra.
   auto p = quickstart_instance();
   auto solver = make_solver("sofda");
   (void)solver->solve(p);
   p.sources = {0};  // hubs = VMs + sources shrink
   const auto f = solver->solve(p);
-  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(solver->report().closure_cache_hit);
   EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+TEST(Session, HubSetGrowthExtendsInsteadOfRebuilding) {
+  auto p = quickstart_instance();
+  p.sources = {0};
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);
+  p.sources = {0, 5};  // a new source hub appears
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(solver->report().closure_repaired);  // incremental acquire
+  EXPECT_EQ(solver->report().closure_hubs_added, 1);
+  EXPECT_EQ(solver->report().closure_delta_edges, 0);
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+TEST(Session, NonIncrementalSessionsKeepStrictKeySemantics) {
+  SolverOptions strict;
+  strict.incremental = false;
+  auto p = quickstart_instance();
+  auto solver = make_solver("sofda", strict);
+  (void)solver->solve(p);
+  p.sources = {0};
+  (void)solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);  // exact-sequence key
+  EXPECT_FALSE(solver->report().closure_repaired);
+  p.network.set_edge_cost(0, 7.75);
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_repaired);  // rebuild, never repair
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+TEST(Session, CostDeltasRepairTheClosureBitIdentically) {
+  const auto topo = topology::softlayer();
+  topology::ProblemConfig cfg;
+  cfg.seed = 31;
+  auto p = topology::make_problem(topo, cfg);
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);
+  // An online-style reprice: a handful of links change cost.
+  for (core::EdgeId e : {2, 9, 17, 23}) {
+    p.network.set_edge_cost(e, p.network.edge(e).cost * 1.5 + 0.125);
+  }
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_TRUE(solver->report().closure_repaired);
+  EXPECT_EQ(solver->report().closure_delta_edges, 4);
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));  // repair exactness, end to end
+  (void)solver->solve(p);
+  EXPECT_TRUE(solver->report().closure_cache_hit);  // steady again
+}
+
+TEST(Session, StrictKeyTracksRepairPathHubChanges) {
+  // A repair-path acquire rewrites the stored hub set (retain + extend);
+  // the strict key must follow, or flipping the session to non-incremental
+  // afterwards could falsely hit on a closure missing hub trees.
+  auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);  // rebuild: key = VMs + {0, 5}
+  p.sources = {0, 9};      // 5 churns out, 9 churns in ...
+  p.network.set_edge_cost(0, 4.25);  // ... via the repair path
+  (void)solver->solve(p);
+  EXPECT_TRUE(solver->report().closure_repaired);
+  solver->options().incremental = false;
+  p.sources = {0, 5};  // the ORIGINAL hub set, unchanged costs
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);  // 5's tree is gone: no hit
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+TEST(Session, MassiveDeltaFallsBackToRebuild) {
+  auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  (void)solver->solve(p);
+  for (core::EdgeId e = 0; e < p.network.edge_count(); ++e) {
+    p.network.set_edge_cost(e, p.network.edge(e).cost + 0.5);
+  }
+  const auto f = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_repaired);  // above the delta threshold
+  EXPECT_GT(solver->report().closure_delta_edges, 0);
+  EXPECT_TRUE(forests_equal(f, core::sofda(p)));
+}
+
+TEST(BoundedClosure, SolverOutputMatchesTheFreeFunction) {
+  SolverOptions bounded;
+  bounded.bounded_closure = true;
+  const auto topo = topology::softlayer();
+  auto solver = make_solver("sofda", bounded);
+  auto ss = make_solver("sofda-ss", bounded);
+  for (std::uint64_t seed : {3u, 4u}) {
+    topology::ProblemConfig cfg;
+    cfg.seed = seed;
+    const auto p = topology::make_problem(topo, cfg);
+    EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p))) << "seed " << seed;
+    EXPECT_TRUE(forests_equal(ss->solve(p), core::sofda_ss(p, p.sources.front())))
+        << "seed " << seed;
+  }
 }
 
 // Version counters are copied with the graph, so two Problem copies can
@@ -265,6 +367,39 @@ TEST(OnlineSession, SimulateWithSolverMatchesEmbedFnBitForBit) {
   }
   EXPECT_EQ(session.infeasible_requests, legacy.infeasible_requests);
   EXPECT_EQ(session.overloaded_links, legacy.overloaded_links);
+}
+
+TEST(ReportAccumulator, AggregatesPhaseTimingsAndCacheOutcomes) {
+  const auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  api::ReportAccumulator acc;
+  solver->set_report_sink(&acc);
+  (void)solver->solve(p);  // cold: rebuild
+  (void)solver->solve(p);  // hit
+  (void)solver->solve(p);  // hit
+  EXPECT_EQ(acc.solves(), 3u);
+  EXPECT_EQ(acc.cache_hits(), 2u);
+  EXPECT_EQ(acc.repairs(), 0u);
+  EXPECT_EQ(acc.rebuilds(), 1u);
+  EXPECT_EQ(acc.infeasible(), 0u);
+  const auto total = acc.total();
+  EXPECT_EQ(total.count, 3u);
+  EXPECT_GT(total.mean, 0.0);
+  EXPECT_LE(total.p50, total.p95);
+  EXPECT_LE(total.min, total.p50);
+  EXPECT_LE(total.p95, total.max);
+  EXPECT_NEAR(total.total, total.mean * 3.0, 1e-12);
+  const auto closure = acc.closure();
+  EXPECT_EQ(closure.count, 3u);
+  EXPECT_GE(closure.max, 0.0);
+
+  solver->set_report_sink(nullptr);
+  (void)solver->solve(p);
+  EXPECT_EQ(acc.solves(), 3u);  // detached
+
+  acc.clear();
+  EXPECT_EQ(acc.solves(), 0u);
+  EXPECT_EQ(acc.total().count, 0u);
 }
 
 TEST(SolveReport, CarriesDistProtocolAndExactCertificates) {

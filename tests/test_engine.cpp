@@ -372,5 +372,388 @@ TEST(MetricClosureThreads, ThreadCountClampedAndUsable) {
   EXPECT_DOUBLE_EQ(wide.distance(1, 0), 2.0);
 }
 
+// ---------------------------------------------------------------- repair ---
+
+void expect_tree_eq(const ShortestPathTree& got, const ShortestPathTree& want,
+                    const char* what) {
+  EXPECT_EQ(got.source, want.source) << what;
+  EXPECT_EQ(got.dist, want.dist) << what;          // bitwise doubles
+  EXPECT_EQ(got.parent, want.parent) << what;
+  EXPECT_EQ(got.parent_edge, want.parent_edge) << what;
+}
+
+TEST(Repair, SingleDecreaseMatchesFreshRun) {
+  util::Rng rng(3);
+  Graph g = random_connected(rng, 30, 0.15);
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(0, tree);
+  const EdgeId e = 5;
+  const Cost old_cost = g.edge(e).cost;
+  g.set_edge_cost(e, old_cost * 0.1);
+  const EdgeCostDelta delta{e, old_cost, old_cost * 0.1};
+  engine.repair(tree, {&delta, 1});
+  ShortestPathTree fresh;
+  ShortestPathEngine(g).run_into(0, fresh);
+  expect_tree_eq(tree, fresh, "decrease");
+}
+
+TEST(Repair, SingleIncreaseMatchesFreshRun) {
+  util::Rng rng(4);
+  Graph g = random_connected(rng, 30, 0.15);
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(2, tree);
+  // Increase an arc the tree actually uses so a subtree is orphaned.
+  EdgeId used = kInvalidEdge;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (tree.parent_edge[static_cast<std::size_t>(v)] != kInvalidEdge) {
+      used = tree.parent_edge[static_cast<std::size_t>(v)];
+    }
+  }
+  ASSERT_NE(used, kInvalidEdge);
+  const Cost old_cost = g.edge(used).cost;
+  g.set_edge_cost(used, old_cost * 50.0);
+  const EdgeCostDelta delta{used, old_cost, old_cost * 50.0};
+  engine.repair(tree, {&delta, 1});
+  ShortestPathTree fresh;
+  ShortestPathEngine(g).run_into(2, fresh);
+  expect_tree_eq(tree, fresh, "increase");
+}
+
+TEST(Repair, DisconnectAndReconnectViaInfiniteCost) {
+  // kInfiniteCost is a legal edge cost and acts as a soft removal: the
+  // repair must carry nodes to +inf/parentless and back.
+  Graph g(4);  // path 0-1-2-3
+  const EdgeId cut = g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(0, tree);
+
+  g.set_edge_cost(cut, kInfiniteCost);
+  const EdgeCostDelta sever{cut, 1.0, kInfiniteCost};
+  engine.repair(tree, {&sever, 1});
+  EXPECT_FALSE(tree.reachable(1));
+  EXPECT_FALSE(tree.reachable(3));
+  ShortestPathTree fresh;
+  ShortestPathEngine(g).run_into(0, fresh);
+  expect_tree_eq(tree, fresh, "severed");
+
+  g.set_edge_cost(cut, 0.25);
+  const EdgeCostDelta rejoin{cut, kInfiniteCost, 0.25};
+  engine.repair(tree, {&rejoin, 1});
+  EXPECT_DOUBLE_EQ(tree.distance(3), 2.25);
+  ShortestPathEngine(g).run_into(0, fresh);
+  expect_tree_eq(tree, fresh, "rejoined");
+}
+
+TEST(Repair, ZeroCostPlateauReparentsLikeAFreshRun) {
+  // Plateau {7, 2} at distance 3, entered only through 7: a fresh run
+  // settles 7 before 2 (2 is only discovered by 7), so node 5's parent is
+  // 7 even though 2 has the smaller id.  A cost delta elsewhere must not
+  // disturb that; making 2 an entry point must flip it.
+  Graph g(9);
+  g.add_edge(0, 8, 3.0);   // 0 -> 8, unrelated branch we can perturb
+  g.add_edge(0, 7, 3.0);   // entry into the plateau
+  const EdgeId plateau_edge = g.add_edge(7, 2, 0.0);
+  (void)plateau_edge;
+  g.add_edge(7, 5, 2.0);   // 5 attains 5.0 via 7 ...
+  g.add_edge(2, 5, 2.0);   // ... and via 2, same distance
+  const EdgeId into2 = g.add_edge(0, 2, 9.0);  // too long to matter, yet
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(0, tree);
+  ASSERT_EQ(tree.parent[5], 7);
+
+  // Unrelated decrease: parents inside and below the plateau stay put.
+  g.set_edge_cost(0, 2.5);
+  const EdgeCostDelta unrelated{0, 3.0, 2.5};
+  engine.repair(tree, {&unrelated, 1});
+  ShortestPathTree fresh;
+  ShortestPathEngine(g).run_into(0, fresh);
+  expect_tree_eq(tree, fresh, "unrelated delta");
+  EXPECT_EQ(tree.parent[5], 7);
+
+  // Make 2 an entry point at the same distance 3: level-3 now pops 2 first
+  // (both heap-present, smaller id), so 2 relaxes 5 first.
+  g.set_edge_cost(into2, 3.0);
+  const EdgeCostDelta entry{into2, 9.0, 3.0};
+  engine.repair(tree, {&entry, 1});
+  ShortestPathEngine(g).run_into(0, fresh);
+  expect_tree_eq(tree, fresh, "new entry point");
+  EXPECT_EQ(tree.parent[5], 2);
+  EXPECT_EQ(tree.parent[2], 0);
+}
+
+/// Random graph with zero-cost edges mixed in (taps and plateaus) so exact
+/// distance ties and preserving plateaus are common.
+Graph random_tied(util::Rng& rng, int n, double extra_edge_prob) {
+  Graph g(n);
+  auto cost = [&]() -> Cost {
+    const int r = rng.uniform_int(0, 5);
+    return r == 0 ? 0.0 : static_cast<Cost>(r);
+  };
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>(rng.index(static_cast<std::size_t>(v))), cost());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(extra_edge_prob)) g.add_edge(u, v, cost());
+    }
+  }
+  return g;
+}
+
+class RepairFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepairFuzz, RepeatedRepairsBitIdenticalToFreshRuns) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = rng.uniform_int(8, 60);
+  Graph g = random_tied(rng, n, 0.12);
+  const auto source = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(source, tree);
+
+  ShortestPathEngine fresh_engine;
+  ShortestPathTree fresh;
+  for (int round = 0; round < 12; ++round) {
+    // A batch of random cost mutations: mixed increases, decreases,
+    // zero-outs, soft removals (+inf) and restores, at most one per edge.
+    const int k = rng.uniform_int(1, std::max(1, g.edge_count() / 4));
+    std::map<EdgeId, Cost> old_costs;
+    for (int i = 0; i < k; ++i) {
+      const auto e = static_cast<EdgeId>(rng.index(static_cast<std::size_t>(g.edge_count())));
+      old_costs.try_emplace(e, g.edge(e).cost);
+    }
+    std::vector<EdgeCostDelta> deltas;
+    for (const auto& [e, old_cost] : old_costs) {
+      Cost next;
+      switch (rng.uniform_int(0, 4)) {
+        case 0: next = 0.0; break;
+        case 1: next = kInfiniteCost; break;
+        case 2: next = old_cost == kInfiniteCost ? 2.0 : old_cost * 0.5; break;
+        default: next = static_cast<Cost>(rng.uniform_int(0, 6)); break;
+      }
+      g.set_edge_cost(e, next);
+      deltas.push_back(EdgeCostDelta{e, old_cost, next});
+    }
+    engine.repair(tree, deltas);
+
+    fresh_engine.attach(g);
+    fresh_engine.run_into(source, fresh);
+    ASSERT_EQ(tree.dist, fresh.dist) << "round " << round;
+    ASSERT_EQ(tree.parent, fresh.parent) << "round " << round;
+    ASSERT_EQ(tree.parent_edge, fresh.parent_edge) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairFuzz, ::testing::Range(1, 17));
+
+TEST(Repair, NoOpDeltasLeaveTheTreeUntouched) {
+  util::Rng rng(91);
+  Graph g = random_tied(rng, 25, 0.2);
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(1, tree);
+  const ShortestPathTree before = tree;
+  const std::vector<EdgeCostDelta> deltas{{0, g.edge(0).cost, g.edge(0).cost},
+                                          {3, g.edge(3).cost, g.edge(3).cost}};
+  const auto stats = engine.repair(tree, deltas);
+  EXPECT_EQ(stats.invalidated, 0u);
+  EXPECT_EQ(stats.improved, 0u);
+  EXPECT_EQ(stats.reparented, 0u);
+  expect_tree_eq(tree, before, "no-op deltas");
+}
+
+TEST(MetricClosureRefresh, RepairedTreesBitIdenticalToRebuild) {
+  util::Rng rng(111);
+  Graph g = random_tied(rng, 70, 0.08);
+  // Hub set with taps (the online shape): backbone hubs + zero-cost VMs.
+  // Several VMs share hosts so refresh's sibling derivation (one repaired
+  // representative per host group) is exercised, for both stored and
+  // non-stored hosts.
+  std::vector<NodeId> hubs;
+  for (NodeId v = 0; v < 70; v += 7) hubs.push_back(v);
+  for (int i = 0; i < 8; ++i) {
+    const auto host = static_cast<NodeId>(rng.index(70));
+    const NodeId vm = g.add_node();
+    g.add_edge(vm, host, 0.0);
+    hubs.push_back(vm);
+  }
+  for (NodeId host : {NodeId{10}, NodeId{0}}) {  // 10 not a hub, 0 is
+    for (int i = 0; i < 3; ++i) {
+      const NodeId vm = g.add_node();
+      g.add_edge(vm, host, 0.0);
+      hubs.push_back(vm);
+    }
+  }
+  MetricClosure closure(g, hubs, 1);
+
+  for (int round = 0; round < 4; ++round) {
+    std::vector<EdgeCostDelta> deltas;
+    for (int i = 0; i < 9; ++i) {
+      const auto e = static_cast<EdgeId>(rng.index(static_cast<std::size_t>(g.edge_count())));
+      const Cost old_cost = g.edge(e).cost;
+      const Cost next = static_cast<Cost>(rng.uniform_int(0, 5));
+      if (next == old_cost) continue;
+      bool dup = false;
+      for (const auto& d : deltas) dup = dup || d.edge == e;
+      if (dup) continue;
+      g.set_edge_cost(e, next);
+      deltas.push_back(EdgeCostDelta{e, old_cost, next});
+    }
+    const int threads = round % 2 == 0 ? 1 : 4;
+    closure.refresh(g, deltas, threads);
+    const MetricClosure fresh(g, hubs, 1);
+    for (NodeId h : hubs) {
+      ASSERT_EQ(closure.tree(h).dist, fresh.tree(h).dist) << "round " << round;
+      ASSERT_EQ(closure.tree(h).parent, fresh.tree(h).parent) << "round " << round;
+      ASSERT_EQ(closure.tree(h).parent_edge, fresh.tree(h).parent_edge) << "round " << round;
+    }
+  }
+}
+
+TEST(MetricClosureRetain, EvictsExactlyTheUnlistedHubs) {
+  util::Rng rng(117);
+  Graph g = random_connected(rng, 30, 0.15);
+  MetricClosure closure(g, {1, 4, 9, 16, 25}, 1);
+  ASSERT_EQ(closure.hub_count(), 5u);
+  closure.retain({16, 4, 2});  // 2 was never a hub; listing it is harmless
+  EXPECT_EQ(closure.hub_count(), 2u);
+  EXPECT_TRUE(closure.is_hub(4));
+  EXPECT_TRUE(closure.is_hub(16));
+  EXPECT_FALSE(closure.is_hub(9));
+  // Survivors are untouched, and the closure extends/refreshes normally.
+  const auto full = dijkstra(g, 4);
+  EXPECT_EQ(closure.tree(4).dist, full.dist);
+  closure.extend(g, {9});
+  EXPECT_EQ(closure.tree(9).dist, dijkstra(g, 9).dist);
+}
+
+TEST(MetricClosureExtend, GrownClosureMatchesOneShotBuildPerTree) {
+  util::Rng rng(121);
+  Graph g = random_connected(rng, 50, 0.1);
+  // Taps whose hosts land in different batches, exercising cross-batch
+  // host resolution.
+  std::vector<NodeId> first{0, 3, 9};
+  std::vector<NodeId> second{12, 3};  // overlap tolerated
+  for (int i = 0; i < 4; ++i) {
+    const NodeId vm = g.add_node();
+    g.add_edge(vm, static_cast<NodeId>(i * 11 % 50), 0.0);
+    (i % 2 == 0 ? first : second).push_back(vm);
+  }
+  MetricClosure grown(g, first, 1);
+  grown.extend(g, second, 1);
+  EXPECT_TRUE(grown.is_hub(12));
+
+  std::vector<NodeId> all = first;
+  all.insert(all.end(), second.begin(), second.end());
+  const MetricClosure oneshot(g, all, 1);
+  EXPECT_EQ(grown.hub_count(), oneshot.hub_count());
+  for (NodeId h : all) {
+    ASSERT_EQ(grown.tree(h).dist, oneshot.tree(h).dist);
+    ASSERT_EQ(grown.tree(h).parent, oneshot.tree(h).parent);
+    ASSERT_EQ(grown.tree(h).parent_edge, oneshot.tree(h).parent_edge);
+  }
+}
+
+TEST(MetricClosureBounded, HubAndTargetQueriesMatchTheFullBuild) {
+  util::Rng rng(131);
+  Graph g = random_tied(rng, 90, 0.06);
+  std::vector<NodeId> hubs;
+  for (NodeId v = 1; v < 90; v += 9) hubs.push_back(v);
+  for (int i = 0; i < 6; ++i) {  // taps, so bounded derivation is exercised
+    const NodeId vm = g.add_node();
+    g.add_edge(vm, static_cast<NodeId>(rng.index(90)), 0.0);
+    hubs.push_back(vm);
+  }
+  const std::vector<NodeId> targets{4, 40, 77};
+
+  const MetricClosure full(g, hubs, 1);
+  MetricClosure bounded;
+  ClosureScope scope;
+  scope.bounded = true;
+  scope.extra_targets = targets;
+  bounded.build(g, hubs, 1, nullptr, scope);
+  EXPECT_TRUE(bounded.bounded());
+
+  for (NodeId a : hubs) {
+    for (NodeId b : hubs) {
+      ASSERT_EQ(bounded.distance(a, b), full.distance(a, b));  // bitwise
+      if (a != b && full.tree(a).reachable(b)) {
+        ASSERT_EQ(bounded.path(a, b), full.path(a, b));
+      }
+    }
+    for (NodeId t : targets) {
+      ASSERT_EQ(bounded.distance(a, t), full.distance(a, t));
+      if (full.tree(a).reachable(t)) {
+        ASSERT_EQ(bounded.path(a, t), full.path(a, t));
+      }
+    }
+  }
+
+  // Parallel bounded build is bit-identical on the settled scope too.
+  MetricClosure par;
+  par.build(g, hubs, 4, nullptr, scope);
+  for (NodeId a : hubs) {
+    for (NodeId t : targets) ASSERT_EQ(par.distance(a, t), bounded.distance(a, t));
+  }
+}
+
+// ------------------------------------------------------ run_until_settled ---
+
+TEST(RunUntilSettled, TargetsAndTheirPathsAreExact) {
+  util::Rng rng(19);
+  const Graph g = random_connected(rng, 80, 0.08);
+  ShortestPathEngine engine(g);
+  const auto full = dijkstra(g, 4);
+  const std::vector<NodeId> targets{9, 31, 62, 9};  // duplicate tolerated
+  const auto& t = engine.run_until_settled(4, targets);
+  for (NodeId v : targets) {
+    EXPECT_EQ(t.distance(v), full.distance(v));  // bitwise
+    // The whole parent chain of a settled node is settled and exact.
+    for (NodeId x = v; x != 4; x = t.parent[static_cast<std::size_t>(x)]) {
+      EXPECT_EQ(t.dist[static_cast<std::size_t>(x)], full.dist[static_cast<std::size_t>(x)]);
+      EXPECT_EQ(t.parent[static_cast<std::size_t>(x)], full.parent[static_cast<std::size_t>(x)]);
+    }
+    EXPECT_EQ(t.path_to(v), full.path_to(v));
+  }
+}
+
+TEST(RunUntilSettled, UnreachableTargetExhaustsGracefullyAndLeavesNoResidue) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);  // separate component
+  ShortestPathEngine engine(g);
+  const std::vector<NodeId> targets{2, 3};
+  const auto& t = engine.run_until_settled(0, targets);
+  EXPECT_DOUBLE_EQ(t.distance(2), 2.0);
+  EXPECT_FALSE(t.reachable(3));
+  // The next full run must be exact everywhere (touched-list + target-mark
+  // reset).
+  const auto baseline = dijkstra(g, 1);
+  const auto& full = engine.run(1);
+  EXPECT_EQ(full.dist, baseline.dist);
+  EXPECT_EQ(full.parent, baseline.parent);
+}
+
+TEST(RunUntilSettled, BoundedRunIntoMatchesSettledPrefix) {
+  util::Rng rng(27);
+  Graph g = random_connected(rng, 60, 0.1);
+  ShortestPathEngine engine(g);
+  std::vector<NodeId> targets{5, 17, 33};
+  ShortestPathTree bounded;
+  engine.run_into(8, bounded, targets);
+  const auto full = dijkstra(g, 8);
+  for (NodeId v : targets) {
+    EXPECT_EQ(bounded.distance(v), full.distance(v));
+    EXPECT_EQ(bounded.path_to(v), full.path_to(v));
+  }
+}
+
 }  // namespace
 }  // namespace sofe::graph

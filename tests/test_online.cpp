@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sofe/api/registry.hpp"
+#include "sofe/api/report.hpp"
 #include "sofe/baselines/baselines.hpp"
 #include "sofe/core/sofda.hpp"
 #include "sofe/core/validate.hpp"
@@ -115,6 +117,99 @@ TEST(Online, InfeasibleEmbedderCountsAndContinues) {
   const auto r = simulate(topo, cfg, "null", [](const Problem&) { return ServiceForest{}; });
   EXPECT_EQ(r.infeasible_requests, 3);
   EXPECT_DOUBLE_EQ(r.accumulative_cost.back(), 0.0);
+}
+
+void expect_results_identical(const OnlineResult& a, const OnlineResult& b) {
+  ASSERT_EQ(a.accumulative_cost.size(), b.accumulative_cost.size());
+  for (std::size_t i = 0; i < a.accumulative_cost.size(); ++i) {
+    EXPECT_EQ(a.accumulative_cost[i], b.accumulative_cost[i]) << "arrival " << i;  // bitwise
+    EXPECT_EQ(a.per_request_cost[i], b.per_request_cost[i]) << "arrival " << i;
+  }
+  EXPECT_EQ(a.infeasible_requests, b.infeasible_requests);
+  EXPECT_EQ(a.overloaded_links, b.overloaded_links);
+}
+
+TEST(OnlinePersistentProblem, BitIdenticalToTheCopyingReferenceDriver) {
+  // The persistent-Problem simulator must hand every embedder exactly the
+  // values the historical copy-per-arrival driver produced.
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 10;
+  const auto persistent = simulate(topo, cfg, "SOFDA", sofda_fn());
+  auto ref_cfg = cfg;
+  ref_cfg.copy_problems = true;
+  const auto copying = simulate(topo, ref_cfg, "SOFDA", sofda_fn());
+  expect_results_identical(persistent, copying);
+}
+
+TEST(OnlinePersistentProblem, SessionWithRepairBitIdenticalToCopyingReference) {
+  // The full acceptance chain: persistent Problem -> cost-only deltas ->
+  // ClosureSession repair, against the copying driver + per-arrival
+  // rebuilds.  Forests, costs and the accept/reject sequence must agree
+  // bit for bit.
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 10;
+
+  auto incremental = api::make_solver("sofda");
+  const auto repaired = simulate(topo, cfg, *incremental);
+
+  auto ref_cfg = cfg;
+  ref_cfg.copy_problems = true;
+  api::SolverOptions rebuild_opt;
+  rebuild_opt.incremental = false;
+  auto rebuilding = api::make_solver("sofda", rebuild_opt);
+  const auto rebuilt = simulate(topo, ref_cfg, *rebuilding);
+
+  expect_results_identical(repaired, rebuilt);
+}
+
+TEST(OnlinePersistentProblem, SessionSeesCostDeltasAndRepairs) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 8;
+  auto solver = api::make_solver("sofda");
+  api::ReportAccumulator acc;
+  solver->set_report_sink(&acc);
+  (void)simulate(topo, cfg, *solver);
+  EXPECT_EQ(acc.solves(), 8u);
+  // After the warm-up arrival the persistent Problem feeds the session
+  // cost-only deltas plus fresh source hubs: every subsequent acquire is a
+  // repair (or a pure hit when the previous embedding loaded nothing new).
+  EXPECT_GE(acc.repairs() + acc.cache_hits(), acc.solves() - 1);
+  EXPECT_LE(acc.rebuilds(), 1u);
+}
+
+TEST(OnlineDepartures, InfiniteHoldingMatchesNoHoldingBitForBit) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 10;
+  const auto never = simulate(topo, cfg, "SOFDA", sofda_fn());
+  auto held = cfg;
+  held.holding_arrivals = cfg.requests;  // departs only after the stream ends
+  const auto outlives = simulate(topo, held, "SOFDA", sofda_fn());
+  expect_results_identical(never, outlives);
+}
+
+TEST(OnlineDepartures, ChargesAreRestoredWhenRequestsDepart) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 20;
+  const auto loaded = simulate(topo, cfg, "SOFDA", sofda_fn());
+  auto held = cfg;
+  held.holding_arrivals = 1;  // every request departs before the next
+  const auto churn = simulate(topo, held, "SOFDA", sofda_fn());
+  EXPECT_EQ(churn.infeasible_requests, 0);
+  // With immediate departures the network never accumulates load, so the
+  // final state cannot be more congested than the never-departing run, and
+  // the total cost cannot exceed it (prices are monotone in load).
+  EXPECT_LE(churn.overloaded_links, loaded.overloaded_links);
+  EXPECT_LE(churn.accumulative_cost.back(), loaded.accumulative_cost.back());
+  // Departures restore prices, so the series still matches its own
+  // copying-reference run bit for bit.
+  auto ref = held;
+  ref.copy_problems = true;
+  expect_results_identical(churn, simulate(topo, ref, "SOFDA", sofda_fn()));
 }
 
 }  // namespace
