@@ -6,14 +6,18 @@
 // SOFDA's stays lowest because it prices congestion into every embedding.
 //
 // This harness is also the incremental pipeline's acceptance bench
-// (DESIGN.md §8): every solver runs the arrival loop twice — once with the
-// delta-aware session (SolverOptions::incremental, closures repaired per
-// arrival) and once with the recomputing baseline (incremental = false,
-// per-arrival Problem copies) — verifies the two series bit for bit, and
-// reports the arrival-loop speedup plus a per-phase breakdown.
+// (DESIGN.md §8 + §9): every solver runs the arrival loop twice — once
+// with the delta-aware session (SolverOptions::incremental closure repair
+// plus the ::incremental_pricing chain cache) and once with the recomputing
+// baseline (both knobs off, per-arrival Problem copies) — verifies the two
+// series bit for bit (exit 1 on any divergence), and reports the
+// arrival-loop speedup, the pricing-cache hit/reprice tallies and a
+// per-phase breakdown.
 //
 // Flags:
-//   --smoke   tiny instance (CI: exercises the incremental path in seconds)
+//   --smoke   tiny instance (CI: exercises the incremental path in seconds);
+//             the JSON carries "smoke": true so consumers never mistake the
+//             reduced panel set for a full run
 //   --json    additionally write the measurements to BENCH_online.json
 
 #include <cstring>
@@ -72,9 +76,11 @@ PanelMeasurement run_panel(const char* title, const sofe::topology::Topology& to
     m.series.algorithm = display;
 
     // Recomputing baseline: per-arrival Problem copies + strict sessions
-    // that rebuild the closure whenever anything changed.
+    // that rebuild the closure whenever anything changed and re-price every
+    // chain from scratch (the pre-§9 pricing path).
     sofe::api::SolverOptions rebuild_opt;
     rebuild_opt.incremental = false;
+    rebuild_opt.incremental_pricing = false;
     auto rebuilding = sofe::api::make_solver(registered, rebuild_opt);
     rebuilding->set_report_sink(&m.recompute);
     auto ref_cfg = cfg;
@@ -120,6 +126,16 @@ PanelMeasurement run_panel(const char* title, const sofe::topology::Topology& to
                 << "s rebuilt (x" << sofe::util::Table::num(re_closure / inc_closure, 2)
                 << ")\n";
     }
+    const double inc_pricing = m.incremental.pricing().total;
+    const double re_pricing = m.recompute.pricing().total;
+    if (re_pricing > 0.0 && inc_pricing > 0.0) {
+      std::cout << "    pricing phase: " << sofe::util::Table::num(inc_pricing, 3)
+                << "s cached (" << m.incremental.pricing_hits() << " hits / "
+                << m.incremental.pricing_repriced() << " repriced, "
+                << m.incremental.pricing_flushes() << " flushes) vs "
+                << sofe::util::Table::num(re_pricing, 3) << "s from scratch (x"
+                << sofe::util::Table::num(re_pricing / inc_pricing, 2) << ")\n";
+    }
   }
   std::vector<std::pair<std::string, const sofe::api::ReportAccumulator*>> rows;
   for (const auto& m : panel.solvers) rows.emplace_back(m.name, &m.incremental);
@@ -134,9 +150,13 @@ void append_phase_json(std::ostringstream& out, const char* key,
       << ",\"max_s\":" << s.max << "}";
 }
 
-void write_json(const std::vector<PanelMeasurement>& panels, const char* path) {
+void write_json(const std::vector<PanelMeasurement>& panels, bool smoke, const char* path) {
   std::ostringstream out;
-  out << "{\"bench\":\"fig12_online\",\"panels\":[";
+  // "smoke" marks the reduced CI panel set: a --smoke --json run used to
+  // overwrite a full BENCH_online.json with fewer panels and no way to
+  // tell — consumers (CI artifacts, trend scripts) key on this field.
+  out << "{\"bench\":\"fig12_online\",\"smoke\":" << (smoke ? "true" : "false")
+      << ",\"panels\":[";
   for (std::size_t pi = 0; pi < panels.size(); ++pi) {
     const auto& panel = panels[pi];
     out << (pi ? "," : "") << "{\"name\":\"" << panel.name << "\",\"solvers\":[";
@@ -144,6 +164,8 @@ void write_json(const std::vector<PanelMeasurement>& panels, const char* path) {
       const auto& m = panel.solvers[si];
       const double inc_closure = m.incremental.closure().total;
       const double re_closure = m.recompute.closure().total;
+      const double inc_pricing = m.incremental.pricing().total;
+      const double re_pricing = m.recompute.pricing().total;
       out << (si ? "," : "") << "{\"name\":\"" << m.name << "\""
           << ",\"arrival_loop_seconds\":" << m.incremental_seconds
           << ",\"arrival_loop_seconds_recompute\":" << m.rebuild_seconds << ",\"speedup\":"
@@ -151,11 +173,17 @@ void write_json(const std::vector<PanelMeasurement>& panels, const char* path) {
           << ",\"closure_seconds\":" << inc_closure
           << ",\"closure_seconds_recompute\":" << re_closure << ",\"closure_speedup\":"
           << (inc_closure > 0.0 ? re_closure / inc_closure : 1.0)
+          << ",\"pricing_seconds\":" << inc_pricing
+          << ",\"pricing_seconds_recompute\":" << re_pricing << ",\"pricing_speedup\":"
+          << (inc_pricing > 0.0 ? re_pricing / inc_pricing : 1.0)
           << ",\"bit_identical\":" << (m.identical ? "true" : "false")
           << ",\"solves\":" << m.incremental.solves()
           << ",\"closure_cache\":{\"hits\":" << m.incremental.cache_hits()
           << ",\"repairs\":" << m.incremental.repairs()
-          << ",\"rebuilds\":" << m.incremental.rebuilds() << "},\"phases\":{";
+          << ",\"rebuilds\":" << m.incremental.rebuilds()
+          << "},\"pricing_cache\":{\"hits\":" << m.incremental.pricing_hits()
+          << ",\"repriced\":" << m.incremental.pricing_repriced()
+          << ",\"flushes\":" << m.incremental.pricing_flushes() << "},\"phases\":{";
       append_phase_json(out, "closure", m.incremental.closure());
       out << ",";
       append_phase_json(out, "pricing", m.incremental.pricing());
@@ -233,9 +261,48 @@ int main(int argc, char** argv) {
       panels.push_back(run_panel("(c) Inet-2000, 20 arrivals (beyond the paper)",
                                  sofe::topology::inet(2000, 4000, 8, 21), cfg, 4));
     }
+    {
+      // Beyond the paper: the churn scenario of the online-admission
+      // literature — every request departs holding_arrivals later,
+      // returning its bandwidth/VNF charges as cost-RESTORE deltas.  This
+      // sweeps the pricing cache through both delta directions and keeps
+      // the network in a steady state instead of saturating.
+      sofe::online::OnlineConfig cfg;
+      cfg.requests = 40;
+      cfg.min_destinations = 13;
+      cfg.max_destinations = 17;
+      cfg.min_sources = 8;
+      cfg.max_sources = 12;
+      cfg.holding_arrivals = 8;
+      cfg.seed = 14;
+      panels.push_back(run_panel("(d) SoftLayer, 40 arrivals, departures after 8 (holding sweep)",
+                                 sofe::topology::softlayer(), cfg, 8));
+    }
+    {
+      // The row-level sweet spot: single-VNF chains (|C| = 1) at the
+      // Fig.7 alpha = 0 end of the cost model on SoftLayer.  With
+      // free setup the only per-arrival change is link prices, and with
+      // one VNF per chain the repriced segments run source -> VM and
+      // VM -> destination — they miss the (VM, VM) closure block, so
+      // chain invalidation is decided row by row and untouched chains
+      // are served straight from the cache instead of merely re-pricing
+      // faster.
+      sofe::online::OnlineConfig cfg;
+      cfg.requests = 30;
+      cfg.min_destinations = 13;
+      cfg.max_destinations = 17;
+      cfg.min_sources = 8;
+      cfg.max_sources = 12;
+      cfg.chain_length = 1;
+      cfg.setup_scale = 0.0;
+      cfg.seed = 23;
+      panels.push_back(run_panel(
+          "(e) SoftLayer, 30 arrivals, |C|=1, zero setup (per-entry invalidation)",
+          sofe::topology::softlayer(), cfg, 5));
+    }
   }
 
-  if (json) write_json(panels, "BENCH_online.json");
+  if (json) write_json(panels, smoke, "BENCH_online.json");
 
   for (const auto& panel : panels) {
     for (const auto& m : panel.solvers) {

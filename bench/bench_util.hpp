@@ -48,14 +48,16 @@ inline const std::vector<std::pair<std::string, std::string>>& comparison_solver
 }
 
 /// Prints per-phase timing breakdowns (closure/pricing/solve/total
-/// mean+p95 in milliseconds, plus the session-cache outcome tallies)
-/// collected by ReportAccumulators — one row per algorithm.
+/// mean+p95 in milliseconds, plus the closure-session and pricing-cache
+/// outcome tallies) collected by ReportAccumulators — one row per
+/// algorithm.
 inline void print_phase_breakdown(
     const std::string& title,
     const std::vector<std::pair<std::string, const api::ReportAccumulator*>>& rows) {
   std::cout << "\n" << title << "\n";
   util::Table table({"algo", "solves", "closure ms (p95)", "pricing ms (p95)",
-                     "solve ms (p95)", "total ms (p95)", "hit/repair/rebuild"});
+                     "solve ms (p95)", "total ms (p95)", "hit/repair/rebuild",
+                     "chains hit/repriced"});
   const auto cell = [](const api::PhaseSummary& s) {
     return util::Table::num(s.mean * 1e3, 2) + " (" + util::Table::num(s.p95 * 1e3, 2) + ")";
   };
@@ -63,7 +65,9 @@ inline void print_phase_breakdown(
     table.add_row({name, std::to_string(acc->solves()), cell(acc->closure()),
                    cell(acc->pricing()), cell(acc->solve()), cell(acc->total()),
                    std::to_string(acc->cache_hits()) + "/" + std::to_string(acc->repairs()) +
-                       "/" + std::to_string(acc->rebuilds())});
+                       "/" + std::to_string(acc->rebuilds()),
+                   std::to_string(acc->pricing_hits()) + "/" +
+                       std::to_string(acc->pricing_repriced())});
   }
   table.print();
 }

@@ -16,7 +16,10 @@ namespace {
 
 /// SOFDA as a session: the closure over {VMs} ∪ {sources} persists across
 /// solves (hub order matches core::sofda, so results are bit-identical to
-/// the free function), and pricing fans out over SolverOptions::threads.
+/// the free function), pricing fans out over SolverOptions::threads, and —
+/// with SolverOptions::incremental_pricing — the PricedChain cache rides
+/// the closure session's change stream so a repaired arrival re-prices
+/// only the touched chains (DESIGN.md §9).
 class SofdaSolver final : public Solver {
  public:
   SofdaSolver(SolverOptions opt, std::string name) : Solver(opt), name_(std::move(name)) {}
@@ -43,8 +46,23 @@ class SofdaSolver final : public Solver {
     const auto& closure = session_.acquire(p.network, hubs, req, r);
 
     util::Stopwatch watch;
-    const auto candidates =
-        core::price_candidate_chains(p, closure, p.sources, opt_.algo(), opt_.threads);
+    std::vector<core::PricedChain> candidates;
+    if (opt_.incremental_pricing) {
+      // The pricing cache must observe every closure change exactly once;
+      // acquire() just ran, so last_update() is this solve's delta.
+      core::PricingTally tally;
+      const core::ClosureUpdate update = session_.last_update();
+      candidates = core::price_candidate_chains(p, closure, p.sources, opt_.algo(),
+                                                opt_.threads, &pricing_, &update, &tally);
+      r.pricing_hits = tally.hits;
+      r.pricing_repriced = tally.repriced;
+      r.pricing_flushed = tally.flushed;
+    } else {
+      // Closure changes now go unobserved: restart the cache cold if the
+      // knob is ever flipped back on.
+      pricing_.invalidate();
+      candidates = core::price_candidate_chains(p, closure, p.sources, opt_.algo(), opt_.threads);
+    }
     r.pricing_seconds = watch.seconds();
     watch.reset();
     ServiceForest f = core::sofda_from_candidates(p, closure, candidates, opt_.algo(), &r.sofda);
@@ -55,6 +73,7 @@ class SofdaSolver final : public Solver {
  private:
   std::string name_;
   ClosureSession session_;
+  core::PricingSession pricing_;
 };
 
 /// SOFDA-SS session over p.sources.front(); the closure over

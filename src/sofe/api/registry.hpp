@@ -35,6 +35,7 @@ namespace sofe::api {
 
 class SolverRegistry {
  public:
+  /// Builds a fresh solver session for the given options.
   using Factory = std::function<std::unique_ptr<Solver>(const SolverOptions&)>;
 
   /// The process-wide registry, populated with the built-ins above on first
@@ -44,6 +45,7 @@ class SolverRegistry {
   /// Registers (or replaces) a named factory.
   void add(std::string name, std::string description, Factory factory);
 
+  /// Whether create(name) would succeed (includes synthesized dist/k=N).
   bool contains(std::string_view name) const;
 
   /// Creates a solver session.  Exact names are looked up first; a name of

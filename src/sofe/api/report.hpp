@@ -1,12 +1,13 @@
 #pragma once
-// SolveReport aggregation over a session's lifetime (DESIGN.md §8).
+// SolveReport aggregation over a session's lifetime (DESIGN.md §8, with
+// the pricing-cache tallies of §9).
 //
 // Every Solver::solve fills a SolveReport with a closure/pricing/solve/total
-// timing breakdown plus the session-cache outcome (hit / repaired /
-// rebuilt).  A ReportAccumulator folds those reports into per-phase
-// count/mean/p50/p95 summaries, so the online simulator and the bench
-// harnesses print phase breakdowns without any per-call bookkeeping of
-// their own: attach one accumulator per solver via
+// timing breakdown plus the session-cache outcomes (closure hit / repaired /
+// rebuilt, pricing chains cached / re-priced).  A ReportAccumulator folds
+// those reports into per-phase count/mean/p50/p95 summaries, so the online
+// simulator and the bench harnesses print phase breakdowns without any
+// per-call bookkeeping of their own: attach one accumulator per solver via
 // Solver::set_report_sink and read it after the workload.
 
 #include <algorithm>
@@ -21,13 +22,13 @@ namespace sofe::api {
 /// use the nearest-rank definition: p_q = sorted[ceil(q * count)] (1-based),
 /// so p50 of {1, 2, 3, 4} is 2 and p95 of 100 samples is the 95th.
 struct PhaseSummary {
-  std::size_t count = 0;
-  double total = 0.0;
-  double mean = 0.0;
-  double p50 = 0.0;
-  double p95 = 0.0;
-  double min = 0.0;
-  double max = 0.0;
+  std::size_t count = 0;  // samples folded in (== solves when attached throughout)
+  double total = 0.0;     // sum of all samples
+  double mean = 0.0;      // total / count (0 when empty)
+  double p50 = 0.0;       // nearest-rank median
+  double p95 = 0.0;       // nearest-rank 95th percentile
+  double min = 0.0;       // smallest sample
+  double max = 0.0;       // largest sample
 };
 
 class ReportAccumulator {
@@ -41,21 +42,39 @@ class ReportAccumulator {
     if (r.closure_cache_hit) ++cache_hits_;
     if (r.closure_repaired) ++repairs_;
     if (!r.feasible) ++infeasible_;
+    pricing_hits_ += static_cast<std::size_t>(r.pricing_hits);
+    pricing_repriced_ += static_cast<std::size_t>(r.pricing_repriced);
+    if (r.pricing_flushed) ++pricing_flushes_;
   }
 
+  /// Resets the accumulator to its freshly-constructed state.
   void clear() { *this = ReportAccumulator{}; }
 
+  /// Reports folded in so far.
   std::size_t solves() const noexcept { return total_.size(); }
+  /// Solves whose closure was reused bitwise (SolveReport::closure_cache_hit).
   std::size_t cache_hits() const noexcept { return cache_hits_; }
+  /// Solves whose closure was repaired in place (closure_repaired).
   std::size_t repairs() const noexcept { return repairs_; }
   /// Solves that neither hit the cache nor repaired it (cold or full-rebuild
   /// closures, and solvers without a session cache).
   std::size_t rebuilds() const noexcept { return solves() - cache_hits_ - repairs_; }
+  /// Solves that returned an empty forest.
   std::size_t infeasible() const noexcept { return infeasible_; }
+  /// Chains served from the pricing cache across all solves (DESIGN.md §9).
+  std::size_t pricing_hits() const noexcept { return pricing_hits_; }
+  /// Chains re-priced across all solves (cold, invalidated, or flushed).
+  std::size_t pricing_repriced() const noexcept { return pricing_repriced_; }
+  /// Solves on which the pricing cache dropped every cached chain.
+  std::size_t pricing_flushes() const noexcept { return pricing_flushes_; }
 
+  /// Summary of the closure (re)build/repair phase, seconds.
   PhaseSummary closure() const { return summarize(closure_); }
+  /// Summary of the candidate-chain pricing phase, seconds.
   PhaseSummary pricing() const { return summarize(pricing_); }
+  /// Summary of everything after pricing, seconds.
   PhaseSummary solve() const { return summarize(solve_); }
+  /// Summary of full solve() wall time, seconds.
   PhaseSummary total() const { return summarize(total_); }
 
  private:
@@ -82,6 +101,9 @@ class ReportAccumulator {
   std::size_t cache_hits_ = 0;
   std::size_t repairs_ = 0;
   std::size_t infeasible_ = 0;
+  std::size_t pricing_hits_ = 0;
+  std::size_t pricing_repriced_ = 0;
+  std::size_t pricing_flushes_ = 0;
 };
 
 }  // namespace sofe::api

@@ -72,8 +72,11 @@ const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
   }
   report.closure_delta_edges = static_cast<int>(deltas_.size());
 
+  row_changes_.clear();
+  added_hubs_.clear();
   if (structure_same && hubs_ok && deltas_.empty()) {
     report.closure_cache_hit = true;
+    last_kind_ = core::ClosureUpdate::Kind::kUnchanged;
     return closure_;
   }
   report.closure_cache_hit = false;
@@ -88,8 +91,10 @@ const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
                           deltas_.size() * 4 <= edges.size();
   if (repairable) {
     closure_.retain(hubs);  // churned-out hubs stop costing a repair per solve
-    closure_.refresh(g, deltas_, req.threads, &engine_);
+    closure_.refresh(g, deltas_, req.threads, &engine_, &row_changes_);
     if (!missing_.empty()) closure_.extend(g, missing_, req.threads, &engine_);
+    added_hubs_ = missing_;
+    last_kind_ = core::ClosureUpdate::Kind::kRepaired;
     report.closure_repaired = true;
     report.closure_hubs_added = static_cast<int>(missing_.size());
     for (const graph::EdgeCostDelta& d : deltas_) {
@@ -104,6 +109,7 @@ const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
     scope.bounded = req.bounded;
     scope.extra_targets = req.settle_targets;
     closure_.build(g, hubs, req.threads, &engine_, scope);
+    last_kind_ = core::ClosureUpdate::Kind::kRebuilt;
     key_nodes_ = g.node_count();
     key_edges_.assign(edges.begin(), edges.end());
     key_hubs_ = hubs;

@@ -1,5 +1,6 @@
 #pragma once
-// Unified solver session API (DESIGN.md §7).
+// Unified solver session API (DESIGN.md §7; the delta-aware closure
+// session is §8, the repair-aware pricing cache §9).
 //
 // Every embedding algorithm in the library — SOFDA, SOFDA-SS, the Section
 // VIII baselines, the multi-controller pipeline and the exact solver — is
@@ -22,6 +23,7 @@
 
 #include "sofe/core/chain_walk.hpp"
 #include "sofe/core/forest.hpp"
+#include "sofe/core/pricing.hpp"
 #include "sofe/core/sofda.hpp"
 #include "sofe/exact/solver.hpp"
 #include "sofe/graph/metric_closure.hpp"
@@ -40,8 +42,9 @@ using core::ServiceForest;
 /// Every parallel path is bit-identical to the serial one (tested), so
 /// `threads` is purely a speed knob, never a results knob.
 struct SolverOptions {
-  kstroll::StrollAlgorithm stroll = kstroll::StrollAlgorithm::kCheapestInsertion;
-  steiner::Algorithm steiner = steiner::Algorithm::kMehlhorn;
+  kstroll::StrollAlgorithm stroll =
+      kstroll::StrollAlgorithm::kCheapestInsertion;        // k-stroll solver variant
+  steiner::Algorithm steiner = steiner::Algorithm::kMehlhorn;  // Steiner-tree variant
   bool shorten = true;  // apply the pass-through shortening post-step
   int threads = 1;      // solver-wide: closure build + chain pricing workers
   /// Delta-aware session cache (DESIGN.md §8): when only edge costs changed
@@ -53,6 +56,16 @@ struct SolverOptions {
   /// the strict rebuild-on-any-change session of the pre-incremental API
   /// (the bench's recomputing baseline).
   bool incremental = true;
+  /// Repair-aware k-stroll pricing (DESIGN.md §9): SOFDA sessions keep a
+  /// PricedChain cache per (source, last VM) that subscribes to the
+  /// closure session's change stream — after a repair, only the chains
+  /// whose hub rows, lift paths or setup costs were actually touched
+  /// re-price (through the shared-block instance assembly); a rebuild
+  /// flushes everything.  Like `incremental`, purely a speed knob:
+  /// candidates are bitwise identical to the recomputing path at any
+  /// thread count (tested, and re-asserted on every bench_fig12_online
+  /// panel).  Off restores per-solve from-scratch pricing.
+  bool incremental_pricing = true;
   /// Build session closures bounded: every hub tree stops once all hubs and
   /// all destinations are settled (run_until_settled).  Exact for every
   /// query SOFDA pricing and re-homing perform, and cheaper on large graphs
@@ -88,7 +101,7 @@ struct SolverOptions {
 /// breakdown; fields a given solver does not produce stay at their defaults.
 struct SolveReport {
   std::string solver;          // registry name of the solver that ran
-  bool feasible = false;
+  bool feasible = false;       // a non-empty forest was returned
   Cost total_cost = 0.0;       // core::total_cost of the returned forest
 
   core::SofdaStats sofda;      // SOFDA-family runs (incl. dist/*)
@@ -106,6 +119,10 @@ struct SolveReport {
   int closure_hubs = 0;            //   hub count requested of the closure
   int closure_delta_edges = 0;     //   edges whose cost changed since cached
   int closure_hubs_added = 0;      //   hubs newly built by an incremental acquire
+
+  int pricing_hits = 0;      // chains served from the pricing cache (§9)
+  int pricing_repriced = 0;  //   chains re-priced this solve
+  bool pricing_flushed = false;  //   this solve dropped every cached chain
 
   double closure_seconds = 0.0;  // hub-tree (re)construction or repair
   double pricing_seconds = 0.0;  // candidate-chain pricing (SOFDA)
@@ -154,9 +171,23 @@ struct ClosureRequest {
 class ClosureSession {
  public:
   /// Updates report.closure_cache_hit/_repaired/_hubs/_delta_edges/
-  /// _hubs_added and report.closure_seconds.
+  /// _hubs_added and report.closure_seconds, and records the outcome for
+  /// last_update().
   const graph::MetricClosure& acquire(const graph::Graph& g, const std::vector<NodeId>& hubs,
                                       const ClosureRequest& req, SolveReport& report);
+
+  /// What the most recent acquire did to the cached closure, in the shape
+  /// core::PricingSession consumes (DESIGN.md §9): hit -> unchanged,
+  /// repair -> the per-row change sets from MetricClosure::refresh plus
+  /// the hubs an incremental extend (re)built, rebuild -> flush.  The
+  /// spans point into session storage overwritten by the next acquire.
+  core::ClosureUpdate last_update() const noexcept {
+    core::ClosureUpdate u;
+    u.kind = last_kind_;
+    u.rows = row_changes_;
+    u.added_hubs = added_hubs_;
+    return u;
+  }
 
   /// Drops the cached closure (the next acquire rebuilds).
   void invalidate() { valid_ = false; }
@@ -175,6 +206,10 @@ class ClosureSession {
   std::vector<NodeId> key_targets_;  // bounded: the settle-target sequence
   std::vector<graph::EdgeCostDelta> deltas_;  // scratch
   std::vector<NodeId> missing_;               // scratch
+  // last_update() storage, rewritten per acquire.
+  core::ClosureUpdate::Kind last_kind_ = core::ClosureUpdate::Kind::kRebuilt;
+  std::vector<graph::MetricClosure::RowDelta> row_changes_;
+  std::vector<NodeId> added_hubs_;
 };
 
 class ReportAccumulator;
@@ -187,6 +222,7 @@ class ReportAccumulator;
 /// `threads` parallelism happens *inside* a solve call.
 class Solver {
  public:
+  /// A fresh session with the given knobs (caches start cold).
   explicit Solver(SolverOptions opt = {}) : opt_(opt) {}
   virtual ~Solver() = default;
   Solver(const Solver&) = delete;
@@ -208,6 +244,8 @@ class Solver {
   /// free.  Pass nullptr to detach.  The sink must outlive its use here.
   void set_report_sink(ReportAccumulator* sink) noexcept { sink_ = sink; }
 
+  /// Live tuning knobs: mutations apply from the next solve() on (session
+  /// caches detect semantic flips and restart cold where needed).
   SolverOptions& options() noexcept { return opt_; }
   const SolverOptions& options() const noexcept { return opt_; }
 

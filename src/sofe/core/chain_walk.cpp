@@ -15,7 +15,6 @@ ChainPlan plan_chain_walk(const Problem& p, const graph::MetricClosure& closure,
   plan.last_vm = last_vm;
   if (source == last_vm) return plan;  // infeasible by construction
 
-  const int k = p.chain_length + 1;
   if (p.chain_length == 0) {
     // Degenerate chain: the "walk" is the source itself; callers append the
     // distribution part.  last_vm is meaningless here.
@@ -27,11 +26,21 @@ ChainPlan plan_chain_walk(const Problem& p, const graph::MetricClosure& closure,
 
   const auto inst = kstroll::build_stroll_instance(p.network, closure, source, vms, last_vm,
                                                    p.node_cost, p.source_cost(source));
+  return plan_chain_walk_on(p, closure, inst, opt);
+}
+
+ChainPlan plan_chain_walk_on(const Problem& p, const graph::MetricClosure& closure,
+                             const kstroll::StrollInstance& inst, const AlgoOptions& opt) {
+  ChainPlan plan;
+  plan.source = inst.source;
+  plan.last_vm = inst.last_vm;
+
+  const int k = p.chain_length + 1;
   const auto stroll = kstroll::solve_stroll(inst, k, opt.stroll);
   if (!stroll.feasible()) return plan;
 
   // Lift: concatenate shortest paths between consecutive stroll nodes.
-  plan.nodes = {source};
+  plan.nodes = {inst.source};
   for (std::size_t i = 0; i + 1 < stroll.order.size(); ++i) {
     const NodeId a = inst.nodes[stroll.order[i]];
     const NodeId b = inst.nodes[stroll.order[i + 1]];
@@ -40,7 +49,7 @@ ChainPlan plan_chain_walk(const Problem& p, const graph::MetricClosure& closure,
     plan.nodes.insert(plan.nodes.end(), path.begin() + 1, path.end());
     plan.vnf_pos.push_back(plan.nodes.size() - 1);  // b hosts f_{i+1}
   }
-  assert(plan.nodes.back() == last_vm);
+  assert(plan.nodes.back() == inst.last_vm);
   assert(plan.vnf_pos.size() == static_cast<std::size_t>(p.chain_length));
   plan.cost = chain_plan_cost(p, plan);
   return plan;

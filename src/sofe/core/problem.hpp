@@ -1,6 +1,7 @@
 #pragma once
 // The Service Overlay Forest (SOF) problem instance (Section III).
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +13,15 @@ using graph::Cost;
 using graph::EdgeId;
 using graph::Graph;
 using graph::NodeId;
+
+/// Ascending, duplicate-free copy — the canonical node iteration order the
+/// pricing paths share (centralized, per-controller, and the §9 session all
+/// sort sources this way, which is what lets their outputs merge bitwise).
+inline std::vector<NodeId> sorted_unique(std::vector<NodeId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
 
 /// A SOF instance: network G = (M ∪ U, E), sources S, destinations D and the
 /// demanded chain length |C|.  VNFs are anonymous — only their position in

@@ -6,20 +6,13 @@
 #include <set>
 #include <thread>
 
+#include "sofe/core/pricing.hpp"
 #include "sofe/graph/mst.hpp"
 #include "sofe/steiner/steiner.hpp"
 
 namespace sofe::core {
 
 namespace {
-
-/// Ascending, duplicate-free copy — the canonical iteration order shared by
-/// the centralized and per-controller pricing paths.
-std::vector<NodeId> sorted_unique(std::vector<NodeId> v) {
-  std::sort(v.begin(), v.end());
-  v.erase(std::unique(v.begin(), v.end()), v.end());
-  return v;
-}
 
 /// Rooted view of a tree edge set in the auxiliary graph.
 struct RootedTree {
@@ -87,7 +80,15 @@ ServiceForest multicast_only(const Problem& p, const AlgoOptions& opt) {
 std::vector<PricedChain> price_candidate_chains(const Problem& p,
                                                 const graph::MetricClosure& closure,
                                                 const std::vector<NodeId>& sources,
-                                                const AlgoOptions& opt, int num_threads) {
+                                                const AlgoOptions& opt, int num_threads,
+                                                PricingSession* session,
+                                                const ClosureUpdate* update,
+                                                PricingTally* tally) {
+  if (session != nullptr) {
+    return session->price(p, closure, sources,
+                          update != nullptr ? *update : ClosureUpdate::rebuilt(), opt,
+                          num_threads, tally);
+  }
   const std::vector<NodeId> vms = p.vms();
   const std::vector<NodeId> srcs = sorted_unique(sources);
   const auto price_source = [&](NodeId s, std::vector<PricedChain>& out) {
@@ -132,7 +133,8 @@ std::vector<PricedChain> price_candidate_chains(const Problem& p,
   return candidates;
 }
 
-ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats) {
+ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats,
+                    PricingSession* pricing) {
   assert(p.well_formed());
   SofdaStats local;
   SofdaStats& st = stats ? *stats : local;
@@ -147,7 +149,10 @@ ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats)
   const graph::MetricClosure closure(p.network, hubs, opt.closure_threads);
 
   // --- Step 1: price candidate service chains for every (source, last VM).
-  const auto candidates = price_candidate_chains(p, closure, p.sources, opt);
+  // The closure is freshly built, so a session prices under the
+  // conservative rebuilt() update (bitwise the same candidates; tested).
+  const auto candidates = price_candidate_chains(p, closure, p.sources, opt,
+                                                 opt.closure_threads, pricing);
   return sofda_from_candidates(p, closure, candidates, opt, stats);
 }
 

@@ -19,6 +19,10 @@
 
 namespace sofe::core {
 
+class PricingSession;   // pricing.hpp: the repair-aware chain cache (DESIGN.md §9)
+struct ClosureUpdate;   //   what changed in the closure since its last price()
+struct PricingTally;    //   per-call hit/reprice counters
+
 struct SofdaStats {
   ConflictStats conflicts;
   int candidate_chains = 0;   // feasible (source, last VM) pairs priced
@@ -29,8 +33,12 @@ struct SofdaStats {
 
 /// Runs SOFDA.  Returns an empty forest when the instance is infeasible
 /// (no destinations, or no source can reach a full chain and a destination).
+/// A non-null `pricing` prices through the session cache with a
+/// conservative rebuilt() update (this one-shot builds a fresh closure, so
+/// every chain re-prices — the session's value here is the shared-block
+/// assembly and API uniformity; persistent reuse lives in api::Solver).
 ServiceForest sofda(const Problem& p, const AlgoOptions& opt = {},
-                    SofdaStats* stats = nullptr);
+                    SofdaStats* stats = nullptr, PricingSession* pricing = nullptr);
 
 /// One priced candidate service chain: a feasible (source, last VM) pair and
 /// its Procedure-2 walk plan.  The unit of exchange between controllers in
@@ -55,11 +63,23 @@ struct PricedChain {
 /// candidates land in a preassigned bucket; concatenating the buckets in
 /// ascending-source order reproduces the serial output bit for bit at any
 /// thread count (tested).  Values < 1 are clamped to 1.
+///
+/// A non-null `session` routes the call through the repair-aware
+/// PricedChain cache (pricing.hpp, DESIGN.md §9): chains whose closure
+/// rows survived `update` (rebuilt() when null — always sound) are served
+/// from cache, the rest re-price through the shared-block assembly.
+/// Output is bitwise identical either way; `tally` receives the
+/// hit/reprice counts.  api::SofdaSolver threads its per-solve
+/// ClosureSession outcome through here so pricing state persists across
+/// online::simulate arrivals.
 std::vector<PricedChain> price_candidate_chains(const Problem& p,
                                                 const graph::MetricClosure& closure,
                                                 const std::vector<NodeId>& sources,
                                                 const AlgoOptions& opt = {},
-                                                int num_threads = 1);
+                                                int num_threads = 1,
+                                                PricingSession* session = nullptr,
+                                                const ClosureUpdate* update = nullptr,
+                                                PricingTally* tally = nullptr);
 
 /// Steps 2-5 of SOFDA (auxiliary graph, Steiner tree, deployment, walks)
 /// given already-priced candidates in canonical (source, last_vm) order.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "sofe/graph/shortest_path_engine.hpp"
 
@@ -81,8 +82,10 @@ void MetricClosure::extend(const Graph& g, const std::vector<NodeId>& hubs, int 
 }
 
 void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> deltas,
-                            int num_threads, ShortestPathEngine* engine) {
+                            int num_threads, ShortestPathEngine* engine,
+                            std::vector<RowDelta>* changed) {
   assert(!bounded_ && "truncated trees cannot be repaired; rebuild instead");
+  if (changed != nullptr) changed->clear();
   if (deltas.empty() || trees_.empty()) return;
 
   // Tap-aware repair plan, mirroring the build's derivation: a zero-cost
@@ -148,13 +151,32 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
     }
   }
 
+  // Per-repair change records (preassigned slots so the parallel stripes
+  // write disjoint locations; only filled when the caller wants them).
+  struct RepairOutcome {
+    bool changed = false;
+    bool full = false;
+    std::vector<NodeId> nodes;
+  };
+  std::vector<RepairOutcome> outcomes(changed != nullptr ? repairs.size() : 0);
+  const auto repair_one = [&](ShortestPathEngine& eng, std::size_t ri) {
+    if (changed == nullptr) {
+      eng.repair(trees_[repairs[ri]], deltas);
+      return;
+    }
+    RepairOutcome& out = outcomes[ri];
+    const auto stats = eng.repair(trees_[repairs[ri]], deltas, &out.nodes);
+    out.changed = stats.changed_anything();
+    out.full = stats.fell_back;
+  };
+
   const std::size_t workers = std::min<std::size_t>(
       static_cast<std::size_t>(std::max(num_threads, 1)), std::max<std::size_t>(repairs.size(), 1));
   if (workers <= 1) {
     ShortestPathEngine local;
     ShortestPathEngine& eng = engine != nullptr ? *engine : local;
     eng.attach(g);
-    for (std::size_t i : repairs) eng.repair(trees_[i], deltas);
+    for (std::size_t ri = 0; ri < repairs.size(); ++ri) repair_one(eng, ri);
   } else {
     g.ensure_csr();  // the lazy csr() cost refresh is not thread-safe on a miss
     std::vector<std::thread> pool;
@@ -162,24 +184,66 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
         ShortestPathEngine worker(g);
-        for (std::size_t i = w; i < repairs.size(); i += workers) {
-          worker.repair(trees_[repairs[i]], deltas);
-        }
+        for (std::size_t ri = w; ri < repairs.size(); ri += workers) repair_one(worker, ri);
       });
     }
     for (std::thread& t : pool) t.join();
   }
 
+  // Directly repaired rows are their own memo (and change report).
+  std::vector<std::size_t> slot_outcome(changed != nullptr ? n_slots : 0, SIZE_MAX);
+  for (std::size_t ri = 0; ri < repairs.size(); ++ri) {
+    derive_memo_[repairs[ri]] = DeriveMemo{};
+    if (changed == nullptr) continue;
+    slot_outcome[repairs[ri]] = ri;
+    const RepairOutcome& out = outcomes[ri];
+    if (out.changed) {
+      changed->push_back(RowDelta{slot_hub[repairs[ri]], out.full, out.nodes});
+    }
+  }
+
+  // One pass over the deltas buys O(1) tap-edge membership checks below
+  // (delta lists can reach E/4 on the repair path, derive jobs one per tap).
+  std::unordered_set<EdgeId> delta_edges;
+  if (!derives.empty()) {
+    delta_edges.reserve(deltas.size());
+    for (const EdgeCostDelta& d : deltas) delta_edges.insert(d.edge);
+  }
+  const auto edge_in_deltas = [&](EdgeId e) { return delta_edges.contains(e); };
+
   for (const Job& job : derives) {
     const NodeId v = slot_hub[job.slot];
     const Tap& t = taps[job.slot];
     const NodeId from_hub = slot_hub[job.from];
+    if (changed != nullptr) {
+      // The derived tree inherits its representative's change set — exact
+      // (DESIGN.md §9).  Every derivation of the same (host, tap edge) is
+      // the same "host image" tree regardless of WHICH sibling served as
+      // representative, so the memo only has to certify that the old tree
+      // was such an image (from_hub set, same host/edge) and that no tap
+      // edge involved was repriced across the delta (a 0 <-> nonzero flip
+      // voids the zero-cost-equivalence on one side); otherwise the whole
+      // row must be treated as changed.
+      const DeriveMemo memo = derive_memo_[job.slot];
+      const bool same_shape = memo.from_hub != kInvalidNode && memo.host == t.host &&
+                              memo.edge == t.edge && !edge_in_deltas(t.edge) &&
+                              (from_hub == t.host || !edge_in_deltas(taps[job.from].edge));
+      const std::size_t rep_outcome = slot_outcome[job.from];
+      assert(rep_outcome != SIZE_MAX && "a derive source must be a repaired slot");
+      const RepairOutcome& rep = outcomes[rep_outcome];
+      if (!same_shape) {
+        changed->push_back(RowDelta{v, /*full=*/true, {}});
+      } else if (rep.changed) {
+        changed->push_back(RowDelta{v, rep.full, rep.nodes});
+      }
+    }
     if (from_hub == t.host) {
       derive_tap_tree(trees_[job.from], v, t.host, t.edge, trees_[job.slot]);
     } else {
       derive_sibling_tap_tree(trees_[job.from], from_hub, taps[job.from].edge, v, t.edge,
                               t.host, trees_[job.slot]);
     }
+    derive_memo_[job.slot] = DeriveMemo{from_hub, t.host, t.edge};
   }
 }
 
@@ -199,14 +263,18 @@ void MetricClosure::retain(const std::vector<NodeId>& hubs) {
   std::vector<NodeId> slot_hub(trees_.size(), kInvalidNode);
   for (const auto& [hub, slot] : tree_index_) slot_hub[slot] = hub;
   std::vector<ShortestPathTree> kept;
+  std::vector<DeriveMemo> kept_memo;
   kept.reserve(trees_.size());
+  kept_memo.reserve(trees_.size());
   tree_index_.clear();
   for (std::size_t i = 0; i < trees_.size(); ++i) {
     if (!keep.contains(slot_hub[i])) continue;
     tree_index_.emplace(slot_hub[i], kept.size());
     kept.push_back(std::move(trees_[i]));
+    kept_memo.push_back(derive_memo_[i]);
   }
   trees_ = std::move(kept);
+  derive_memo_ = std::move(kept_memo);
 }
 
 void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& hubs,
@@ -224,6 +292,9 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
     fresh.push_back(h);
   }
   trees_.resize(base + fresh.size());
+  derive_memo_.resize(base + fresh.size());
+  std::fill(derive_memo_.begin() + static_cast<std::ptrdiff_t>(base), derive_memo_.end(),
+            DeriveMemo{});
 
   // Classify the new hubs: a zero-cost degree-1 tap is derived from its
   // host's tree instead of running its own Dijkstra — unless the host is a
@@ -303,6 +374,9 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
   }
 
   // Derive every new tap hub from its host's finished tree (memcpy-bound).
+  // The derivation memo records host-image shape: refresh() re-derives tap
+  // groups through a stored representative, so its shape check treats a
+  // host-derived memo as matching only when it derives from the host again.
   for (std::size_t i = 0; i < fresh.size(); ++i) {
     const Tap& t = taps[i];
     if (t.host == kInvalidNode) continue;
@@ -310,6 +384,7 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
     const ShortestPathTree& host_tree =
         it != tree_index_.end() ? trees_[it->second] : extra_trees[extra_index.at(t.host)];
     derive_tap_tree(host_tree, fresh[i], t.host, t.edge, trees_[base + i]);
+    derive_memo_[base + i] = DeriveMemo{t.host, t.host, t.edge};
   }
 }
 

@@ -33,6 +33,20 @@ struct ClosureScope {
 
 class MetricClosure {
  public:
+  /// One hub row's change report from refresh() (DESIGN.md §9): after a
+  /// repair, the row `hub` may differ from its pre-repair state only at the
+  /// listed `nodes` (an over-approximation — listed nodes may be unchanged,
+  /// unlisted nodes never changed; duplicates possible), or anywhere when
+  /// `full` is set (the repair fell back to a fresh run, or the tree was
+  /// re-derived through a different representative than last time).  Rows
+  /// that provably did not change are not reported at all.  This is the
+  /// feed the repair-aware pricing cache (core::PricingSession) subscribes
+  /// to through api::ClosureSession.
+  struct RowDelta {
+    NodeId hub = kInvalidNode;
+    bool full = false;
+    std::vector<NodeId> nodes;
+  };
   /// Builds the shortest-path tree of every node in `hubs` (duplicates
   /// tolerated) through a ShortestPathEngine over the graph's CSR view.
   ///
@@ -95,8 +109,17 @@ class MetricClosure {
   /// group by re-derivation, so the repair count matches the build's
   /// Dijkstra count rather than the (vms_per_dc times larger) tree count.
   /// Threading stripes the representative repairs over workers.
+  ///
+  /// `changed`, when given, is cleared and filled with one RowDelta per hub
+  /// row that may have changed (see RowDelta): directly repaired rows carry
+  /// the engine's touched-node over-approximation, tap-derived rows inherit
+  /// their representative's set when the derivation shape (representative,
+  /// host, tap edge) matches the previous build/refresh and the tap edges
+  /// sit outside `deltas` — else they are reported `full`.  Rows the repair
+  /// left bitwise untouched are omitted, which is what makes per-arrival
+  /// pricing-cache invalidation proportional to the affected rows.
   void refresh(const Graph& g, std::span<const EdgeCostDelta> deltas, int num_threads = 1,
-               ShortestPathEngine* engine = nullptr);
+               ShortestPathEngine* engine = nullptr, std::vector<RowDelta>* changed = nullptr);
 
   /// Drops every stored tree whose hub is not in `hubs` (kept trees stay
   /// in slot order).  The session's repair path calls this before refresh
@@ -133,7 +156,20 @@ class MetricClosure {
   void build_or_extend(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
                        ShortestPathEngine* engine, bool rebuild);
 
+  /// How a slot's tree was last produced: derived from `from_hub`'s tree
+  /// (its own host, or a sibling-tap representative) through the zero-cost
+  /// `edge` to `host`, or run/repaired directly (from_hub == kInvalidNode).
+  /// refresh() compares this against its current derivation plan to decide
+  /// whether a derived row's change set can inherit the representative's
+  /// (shape unchanged) or must be reported full (shape changed).
+  struct DeriveMemo {
+    NodeId from_hub = kInvalidNode;
+    NodeId host = kInvalidNode;
+    EdgeId edge = kInvalidEdge;
+  };
+
   std::vector<ShortestPathTree> trees_;
+  std::vector<DeriveMemo> derive_memo_;  // parallel to trees_
   std::unordered_map<NodeId, std::size_t> tree_index_;
   bool bounded_ = false;
   std::vector<NodeId> settle_targets_;  // bounded builds: hubs ∪ extra targets

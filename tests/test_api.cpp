@@ -344,6 +344,81 @@ TEST(ParallelPricing, BitIdenticalForThreads128OnInet) {
   }
 }
 
+TEST(PricingCache, SessionTracksFreeFunctionAcrossArrivalStyleMutations) {
+  // The SOFDA session's PricedChain cache (DESIGN.md §9) rides the closure
+  // session's change stream: cost deltas, source churn, setup-cost moves.
+  // Every solve must stay bitwise equal to the free function.
+  const auto topo = topology::softlayer();
+  topology::ProblemConfig cfg;
+  cfg.seed = 19;
+  auto p = topology::make_problem(topo, cfg);
+  auto solver = make_solver("sofda");
+
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_GT(solver->report().pricing_repriced, 0);  // cold cache
+  EXPECT_TRUE(solver->report().pricing_flushed);
+
+  // Unchanged problem: the closure hits and every chain serves from cache.
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_EQ(solver->report().pricing_repriced, 0);
+  EXPECT_GT(solver->report().pricing_hits, 0);
+
+  // A handful of link repricings: the closure repairs; chains whose rows
+  // were touched re-price, and the result still matches exactly.
+  for (core::EdgeId e : {3, 11, 19}) {
+    p.network.set_edge_cost(e, p.network.edge(e).cost * 1.25 + 0.5);
+  }
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_TRUE(solver->report().closure_repaired);
+
+  // Source churn (drop one, later re-add): buckets flush only as needed.
+  auto sources = p.sources;
+  p.sources.pop_back();
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  p.sources = sources;
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+
+  // A VM setup-cost move (|C| >= 2): the shared terms shift, all chains
+  // re-price — and still match.
+  const auto vms = p.vms();
+  p.node_cost[static_cast<std::size_t>(vms[1])] += 0.75;
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_TRUE(solver->report().pricing_flushed);
+}
+
+TEST(PricingCache, KnobOffRestoresFromScratchPricing) {
+  const auto p = quickstart_instance();
+  SolverOptions off;
+  off.incremental_pricing = false;
+  auto solver = make_solver("sofda", off);
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_EQ(solver->report().pricing_hits, 0);
+  EXPECT_EQ(solver->report().pricing_repriced, 0);  // tallies come from the cache only
+  (void)solver->solve(p);
+  EXPECT_EQ(solver->report().pricing_hits, 0);  // never served from a cache
+
+  // Flipping the knob mid-session starts cold (no stale serves), then
+  // behaves like a fresh incremental session.
+  solver->options().incremental_pricing = true;
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_GT(solver->report().pricing_repriced, 0);
+  EXPECT_TRUE(forests_equal(solver->solve(p), core::sofda(p)));
+  EXPECT_EQ(solver->report().pricing_repriced, 0);
+  EXPECT_GT(solver->report().pricing_hits, 0);
+}
+
+TEST(PricingCache, AccumulatorAggregatesPricingTallies) {
+  const auto p = quickstart_instance();
+  auto solver = make_solver("sofda");
+  api::ReportAccumulator acc;
+  solver->set_report_sink(&acc);
+  (void)solver->solve(p);  // cold: everything re-prices (one flush)
+  (void)solver->solve(p);  // warm: everything hits
+  EXPECT_GT(acc.pricing_repriced(), 0u);
+  EXPECT_GT(acc.pricing_hits(), 0u);
+  EXPECT_EQ(acc.pricing_flushes(), 1u);
+}
+
 TEST(OnlineSession, SimulateWithSolverMatchesEmbedFnBitForBit) {
   const auto topo = topology::softlayer();
   online::OnlineConfig cfg;
@@ -364,6 +439,32 @@ TEST(OnlineSession, SimulateWithSolverMatchesEmbedFnBitForBit) {
   for (std::size_t i = 0; i < legacy.accumulative_cost.size(); ++i) {
     EXPECT_EQ(session.accumulative_cost[i], legacy.accumulative_cost[i]);  // bitwise
     EXPECT_EQ(session.per_request_cost[i], legacy.per_request_cost[i]);
+  }
+  EXPECT_EQ(session.infeasible_requests, legacy.infeasible_requests);
+  EXPECT_EQ(session.overloaded_links, legacy.overloaded_links);
+}
+
+TEST(OnlineSession, HoldingDeparturesStayBitIdenticalWithPricingCache) {
+  // Departures return their ledger charges as cost-RESTORE deltas; the
+  // pricing cache must ride both delta directions through the arrival
+  // loop and reproduce the free-function series exactly.
+  const auto topo = topology::softlayer();
+  online::OnlineConfig cfg;
+  cfg.requests = 10;
+  cfg.min_destinations = 3;
+  cfg.max_destinations = 5;
+  cfg.min_sources = 2;
+  cfg.max_sources = 3;
+  cfg.holding_arrivals = 3;
+  cfg.seed = 99;
+
+  const auto legacy = online::simulate(topo, cfg, "sofda",
+                                       [](const Problem& p) { return core::sofda(p); });
+  auto solver = make_solver("sofda");
+  const auto session = online::simulate(topo, cfg, *solver);
+  ASSERT_EQ(session.accumulative_cost.size(), legacy.accumulative_cost.size());
+  for (std::size_t i = 0; i < legacy.accumulative_cost.size(); ++i) {
+    EXPECT_EQ(session.accumulative_cost[i], legacy.accumulative_cost[i]);  // bitwise
   }
   EXPECT_EQ(session.infeasible_requests, legacy.infeasible_requests);
   EXPECT_EQ(session.overloaded_links, legacy.overloaded_links);

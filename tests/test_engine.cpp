@@ -552,6 +552,118 @@ TEST_P(RepairFuzz, RepeatedRepairsBitIdenticalToFreshRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RepairFuzz, ::testing::Range(1, 17));
 
+TEST_P(RepairFuzz, TouchedListCoversEveryChangedEntry) {
+  // The §9 pricing cache trusts repair's touched_out to OVER-approximate
+  // the changed entries: any (dist, parent, parent_edge) that differs from
+  // the pre-repair tree must be listed (or the repair reports fell_back).
+  // Serving a stale chain is the failure mode if this ever under-reports,
+  // so pin it with the same delta mix as the bit-identity fuzz.
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 29);
+  const int n = rng.uniform_int(8, 60);
+  Graph g = random_tied(rng, n, 0.12);
+  const auto source = static_cast<NodeId>(rng.index(static_cast<std::size_t>(n)));
+  ShortestPathEngine engine(g);
+  ShortestPathTree tree;
+  engine.run_into(source, tree);
+
+  for (int round = 0; round < 12; ++round) {
+    const int k = rng.uniform_int(1, std::max(1, g.edge_count() / 4));
+    std::map<EdgeId, Cost> old_costs;
+    for (int i = 0; i < k; ++i) {
+      const auto e = static_cast<EdgeId>(rng.index(static_cast<std::size_t>(g.edge_count())));
+      old_costs.try_emplace(e, g.edge(e).cost);
+    }
+    std::vector<EdgeCostDelta> deltas;
+    for (const auto& [e, old_cost] : old_costs) {
+      Cost next;
+      switch (rng.uniform_int(0, 4)) {
+        case 0: next = 0.0; break;
+        case 1: next = kInfiniteCost; break;
+        case 2: next = old_cost == kInfiniteCost ? 2.0 : old_cost * 0.5; break;
+        default: next = static_cast<Cost>(rng.uniform_int(0, 6)); break;
+      }
+      g.set_edge_cost(e, next);
+      deltas.push_back(EdgeCostDelta{e, old_cost, next});
+    }
+
+    const ShortestPathTree before = tree;
+    std::vector<NodeId> touched;
+    const auto stats = engine.repair(tree, deltas, &touched);
+    if (stats.fell_back) continue;  // full rewrite: no list by contract
+    std::vector<bool> listed(static_cast<std::size_t>(n), false);
+    for (NodeId v : touched) listed[static_cast<std::size_t>(v)] = true;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      if (tree.dist[i] != before.dist[i] || tree.parent[i] != before.parent[i] ||
+          tree.parent_edge[i] != before.parent_edge[i]) {
+        ASSERT_TRUE(listed[i]) << "round " << round << ": node " << i
+                               << " changed but is not in touched_out";
+        ASSERT_TRUE(stats.changed_anything());
+      }
+    }
+  }
+}
+
+TEST(MetricClosureRefresh, RowDeltasCoverEveryChangedRow) {
+  // The closure-level half of the same §9 contract: any hub row whose tree
+  // changed must appear in refresh's RowDelta list, with the differing
+  // nodes covered by its change set (or the row reported full).  Tap
+  // groups make the derive-inheritance path part of what is pinned.
+  util::Rng rng(271);
+  Graph g = random_tied(rng, 60, 0.1);
+  std::vector<NodeId> hubs;
+  for (NodeId v = 0; v < 60; v += 6) hubs.push_back(v);
+  for (NodeId host : {NodeId{13}, NodeId{13}, NodeId{27}, NodeId{0}}) {
+    const NodeId vm = g.add_node();
+    g.add_edge(vm, host, 0.0);
+    hubs.push_back(vm);
+  }
+  MetricClosure closure(g, hubs, 1);
+
+  for (int round = 0; round < 6; ++round) {
+    std::map<NodeId, ShortestPathTree> before;
+    for (NodeId h : hubs) before.emplace(h, closure.tree(h));
+
+    std::vector<EdgeCostDelta> deltas;
+    for (int i = 0; i < 7; ++i) {
+      const auto e = static_cast<EdgeId>(rng.index(static_cast<std::size_t>(g.edge_count())));
+      const Cost old_cost = g.edge(e).cost;
+      const Cost next = static_cast<Cost>(rng.uniform_int(0, 5));
+      bool dup = next == old_cost;
+      for (const auto& d : deltas) dup = dup || d.edge == e;
+      if (dup) continue;
+      g.set_edge_cost(e, next);
+      deltas.push_back(EdgeCostDelta{e, old_cost, next});
+    }
+
+    std::vector<MetricClosure::RowDelta> rows;
+    closure.refresh(g, deltas, round % 2 == 0 ? 1 : 4, nullptr, &rows);
+
+    for (NodeId h : hubs) {
+      const ShortestPathTree& old_tree = before.at(h);
+      const ShortestPathTree& new_tree = closure.tree(h);
+      const MetricClosure::RowDelta* row = nullptr;
+      for (const auto& r : rows) {
+        if (r.hub == h) row = &r;
+      }
+      std::vector<bool> listed(old_tree.dist.size(), false);
+      if (row != nullptr && !row->full) {
+        for (NodeId v : row->nodes) listed[static_cast<std::size_t>(v)] = true;
+      }
+      for (std::size_t i = 0; i < old_tree.dist.size(); ++i) {
+        if (new_tree.dist[i] == old_tree.dist[i] && new_tree.parent[i] == old_tree.parent[i] &&
+            new_tree.parent_edge[i] == old_tree.parent_edge[i]) {
+          continue;
+        }
+        ASSERT_NE(row, nullptr) << "round " << round << ": hub " << h
+                                << " changed at node " << i << " but reported no RowDelta";
+        ASSERT_TRUE(row->full || listed[i])
+            << "round " << round << ": hub " << h << " changed at node " << i
+            << " outside its RowDelta node set";
+      }
+    }
+  }
+}
+
 TEST(Repair, NoOpDeltasLeaveTheTreeUntouched) {
   util::Rng rng(91);
   Graph g = random_tied(rng, 25, 0.2);

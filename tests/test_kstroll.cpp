@@ -1,12 +1,20 @@
 // k-stroll substrate tests: Procedure-1 construction (cost telescoping and
-// Lemma-1 triangle inequality), heuristic vs exact-DP quality, and the
-// Appendix-D source-cost variant.
+// Lemma-1 triangle inequality), heuristic vs exact-DP quality, the
+// Appendix-D source-cost variant, and the repair-aware pricing machinery
+// (DESIGN.md §9): shared-block instance assembly bitwise vs the per-pair
+// builder, and the PricingSession's cache hit/invalidate semantics across
+// repair vs rebuild vs extend, departure cost restores, thread counts, and
+// the equal-cost parent-flip traps.
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "sofe/core/pricing.hpp"
+#include "sofe/core/sofda.hpp"
+#include "sofe/graph/shortest_path_engine.hpp"
 #include "sofe/kstroll/instance.hpp"
+#include "sofe/kstroll/pricing.hpp"
 #include "sofe/kstroll/solver.hpp"
 #include "sofe/util/rng.hpp"
 
@@ -208,6 +216,369 @@ TEST(StrollSolver, ImproveNeverWorsens) {
   const Cost before = s.cost;
   improve_stroll(inst, s);
   EXPECT_LE(s.cost, before + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Repair-aware pricing (DESIGN.md §9)
+
+TEST(SharedInstanceAssembly, BitwiseEqualToPerPairBuilder) {
+  Fixture f = random_fixture(9001, 24, 9);
+  const auto mc = closure_for(f);
+
+  SharedVmBlock block;
+  block.build(mc, f.vms, f.node_cost);
+  InstanceAssembler assembler;
+  assembler.bind_source(block, mc, f.vms, f.source);
+
+  for (std::size_t j = 0; j < f.vms.size(); ++j) {
+    const NodeId u = f.vms[j];
+    const auto expect = build_stroll_instance(f.g, mc, f.source, f.vms, u, f.node_cost);
+    const auto& got = assembler.with_last_vm(j, u, f.node_cost);
+    ASSERT_EQ(got.nodes, expect.nodes);
+    ASSERT_EQ(got.last_index, expect.last_index);
+    for (std::size_t a = 0; a < expect.size(); ++a) {
+      for (std::size_t b = 0; b < expect.size(); ++b) {
+        EXPECT_EQ(got.cost[a][b], expect.cost[a][b])  // bitwise: == on doubles
+            << "entry (" << a << ", " << b << ") for last VM " << u;
+      }
+    }
+  }
+}
+
+/// A Problem over a Fixture: sources pick up extra ids, chain length |C|.
+core::Problem problem_for(const Fixture& f, std::vector<NodeId> sources, int chain_length) {
+  core::Problem p;
+  p.network = f.g;
+  p.node_cost = f.node_cost;
+  p.is_vm.assign(static_cast<std::size_t>(f.g.node_count()), 0);
+  for (NodeId v : f.vms) p.is_vm[static_cast<std::size_t>(v)] = 1;
+  p.sources = std::move(sources);
+  p.destinations = {f.vms.back()};
+  p.chain_length = chain_length;
+  return p;
+}
+
+graph::MetricClosure closure_for_problem(const core::Problem& p) {
+  std::vector<NodeId> hubs = p.vms();
+  hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
+  return graph::MetricClosure(p.network, hubs);
+}
+
+bool chains_equal(const std::vector<core::PricedChain>& a,
+                  const std::vector<core::PricedChain>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].source != b[i].source || a[i].last_vm != b[i].last_vm ||
+        a[i].plan.nodes != b[i].plan.nodes || a[i].plan.vnf_pos != b[i].plan.vnf_pos ||
+        a[i].plan.cost != b[i].plan.cost) {  // bitwise: == on doubles
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PricingSession, ColdCallMatchesFreeFunctionThenHitsWhenUnchanged) {
+  Fixture f = random_fixture(7117, 26, 8);
+  const auto p = problem_for(f, {0, 5}, 3);
+  const auto mc = closure_for_problem(p);
+
+  const auto expect = core::price_candidate_chains(p, mc, p.sources);
+  ASSERT_FALSE(expect.empty());
+
+  core::PricingSession session;
+  core::PricingTally tally;
+  const auto cold = session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {}, 1, &tally);
+  EXPECT_TRUE(chains_equal(cold, expect));
+  EXPECT_EQ(tally.hits, 0);
+  EXPECT_GT(tally.repriced, 0);
+
+  const auto warm =
+      session.price(p, mc, p.sources, core::ClosureUpdate::unchanged(), {}, 1, &tally);
+  EXPECT_TRUE(chains_equal(warm, expect));
+  EXPECT_EQ(tally.repriced, 0);
+  EXPECT_GT(tally.hits, 0);
+  EXPECT_EQ(session.cached_chains(), static_cast<std::size_t>(tally.hits));
+}
+
+TEST(PricingSession, RepairInvalidatesOnlyTouchedChainsAndStaysExact) {
+  Fixture f = random_fixture(5150, 30, 9);
+  auto p = problem_for(f, {0, 7, 11}, 3);
+  auto mc = closure_for_problem(p);
+
+  core::PricingSession session;
+  (void)session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+
+  // An online-style reprice: a few links move, the closure repairs, and
+  // the session re-prices against the refresh's changed-row report.
+  std::vector<graph::EdgeCostDelta> deltas;
+  for (core::EdgeId e : {1, 4, 9}) {
+    const Cost old_cost = p.network.edge(e).cost;
+    p.network.set_edge_cost(e, old_cost * 1.5 + 0.25);
+    deltas.push_back({e, old_cost, p.network.edge(e).cost});
+  }
+  std::vector<graph::MetricClosure::RowDelta> rows;
+  mc.refresh(p.network, deltas, 1, nullptr, &rows);
+
+  core::ClosureUpdate update;
+  update.kind = core::ClosureUpdate::Kind::kRepaired;
+  update.rows = rows;
+  core::PricingTally tally;
+  const auto got = session.price(p, mc, p.sources, update, {}, 1, &tally);
+  EXPECT_TRUE(chains_equal(got, core::price_candidate_chains(p, mc, p.sources)));
+  EXPECT_EQ(tally.hits + tally.repriced,
+            static_cast<int>(p.sources.size() * f.vms.size()));
+}
+
+TEST(PricingSession, RebuildUpdateFlushesEverything) {
+  Fixture f = random_fixture(6161, 22, 7);
+  const auto p = problem_for(f, {0, 3}, 3);
+  const auto mc = closure_for_problem(p);
+
+  core::PricingSession session;
+  (void)session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+  core::PricingTally tally;
+  const auto again =
+      session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {}, 1, &tally);
+  EXPECT_TRUE(tally.flushed);
+  EXPECT_EQ(tally.hits, 0);
+  EXPECT_TRUE(chains_equal(again, core::price_candidate_chains(p, mc, p.sources)));
+}
+
+TEST(PricingSession, ExtendFlushesOnlyTheReaddedSourceBucket) {
+  Fixture f = random_fixture(3030, 24, 8);
+  auto p = problem_for(f, {0, 9}, 3);
+  auto mc = closure_for_problem(p);
+
+  core::PricingSession session;
+  (void)session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+
+  // Source 9 churns out and back in: the closure extends its tree, and the
+  // session — which observed no deltas for the missing row — must flush
+  // bucket 9 while bucket 0 keeps hitting.
+  const std::vector<NodeId> added{9};
+  core::ClosureUpdate update;
+  update.kind = core::ClosureUpdate::Kind::kRepaired;
+  update.added_hubs = added;
+  core::PricingTally tally;
+  const auto got = session.price(p, mc, p.sources, update, {}, 1, &tally);
+  EXPECT_TRUE(chains_equal(got, core::price_candidate_chains(p, mc, p.sources)));
+  EXPECT_EQ(tally.hits, static_cast<int>(f.vms.size()));      // all of bucket 0
+  EXPECT_EQ(tally.repriced, static_cast<int>(f.vms.size()));  // all of bucket 9
+}
+
+TEST(PricingSession, DepartureCostRestoreDeltasRoundTrip) {
+  Fixture f = random_fixture(2468, 28, 9);
+  auto p = problem_for(f, {0, 5, 13}, 3);
+  auto mc = closure_for_problem(p);
+
+  core::PricingSession session;
+  const auto base = session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+
+  const auto reprice_after = [&](const std::vector<graph::EdgeCostDelta>& deltas) {
+    std::vector<graph::MetricClosure::RowDelta> rows;
+    mc.refresh(p.network, deltas, 1, nullptr, &rows);
+    core::ClosureUpdate update;
+    update.kind = core::ClosureUpdate::Kind::kRepaired;
+    update.rows = rows;
+    return session.price(p, mc, p.sources, update, {});
+  };
+
+  // Admission: congestion charges a few links...
+  std::vector<graph::EdgeCostDelta> charge;
+  for (core::EdgeId e : {2, 6, 12}) {
+    const Cost old_cost = p.network.edge(e).cost;
+    p.network.set_edge_cost(e, old_cost + 2.5);
+    charge.push_back({e, old_cost, p.network.edge(e).cost});
+  }
+  const auto charged = reprice_after(charge);
+  EXPECT_TRUE(chains_equal(charged, core::price_candidate_chains(p, mc, p.sources)));
+
+  // ...and the departure returns exactly what was taken: cost-RESTORE
+  // deltas.  The session must land bitwise back on the original chains.
+  std::vector<graph::EdgeCostDelta> restore;
+  for (const auto& d : charge) {
+    p.network.set_edge_cost(d.edge, d.old_cost);
+    restore.push_back({d.edge, d.new_cost, d.old_cost});
+  }
+  const auto restored = reprice_after(restore);
+  EXPECT_TRUE(chains_equal(restored, base));
+}
+
+TEST(PricingSession, BitIdenticalAcrossThreadCounts) {
+  Fixture f = random_fixture(1357, 32, 10);
+  auto p = problem_for(f, {0, 4, 8, 12, 16}, 3);
+  auto mc = closure_for_problem(p);
+
+  // Three identically-driven sessions, priced at 1 / 2 / 8 workers, across
+  // a cold call and a repair round: outputs must match bit for bit.
+  std::vector<std::unique_ptr<core::PricingSession>> sessions;
+  for (int i = 0; i < 3; ++i) sessions.push_back(std::make_unique<core::PricingSession>());
+  const int threads[] = {1, 2, 8};
+
+  std::vector<std::vector<core::PricedChain>> cold(3);
+  for (int i = 0; i < 3; ++i) {
+    cold[static_cast<std::size_t>(i)] = sessions[static_cast<std::size_t>(i)]->price(
+        p, mc, p.sources, core::ClosureUpdate::rebuilt(), {}, threads[i]);
+  }
+  EXPECT_TRUE(chains_equal(cold[0], cold[1]));
+  EXPECT_TRUE(chains_equal(cold[0], cold[2]));
+  EXPECT_TRUE(chains_equal(cold[0], core::price_candidate_chains(p, mc, p.sources)));
+
+  std::vector<graph::EdgeCostDelta> deltas;
+  for (core::EdgeId e : {0, 3, 7, 15}) {
+    const Cost old_cost = p.network.edge(e).cost;
+    p.network.set_edge_cost(e, old_cost * 2.0 + 0.125);
+    deltas.push_back({e, old_cost, p.network.edge(e).cost});
+  }
+  std::vector<graph::MetricClosure::RowDelta> rows;
+  mc.refresh(p.network, deltas, 1, nullptr, &rows);
+  core::ClosureUpdate update;
+  update.kind = core::ClosureUpdate::Kind::kRepaired;
+  update.rows = rows;
+
+  std::vector<std::vector<core::PricedChain>> warm(3);
+  for (int i = 0; i < 3; ++i) {
+    warm[static_cast<std::size_t>(i)] = sessions[static_cast<std::size_t>(i)]->price(
+        p, mc, p.sources, update, {}, threads[i]);
+  }
+  EXPECT_TRUE(chains_equal(warm[0], warm[1]));
+  EXPECT_TRUE(chains_equal(warm[0], warm[2]));
+  EXPECT_TRUE(chains_equal(warm[0], core::price_candidate_chains(p, mc, p.sources)));
+}
+
+/// The stale-bucket trap (ISSUE satellite): a plateau reshuffle can flip
+/// parents in a hub row while EVERY distance survives — serving the cached
+/// chain would hand out a lift path that no longer exists in the tree (and
+/// whose edges no longer sum to its cost).  Gadget: s reaches {a, b} at
+/// equal distance joined by a zero-cost edge; repricing s-a flips a's
+/// parent onto b without moving any dist.
+TEST(PricingSession, EqualCostParentFlipWithoutDistanceChangeReprices) {
+  // Nodes: s=0, a=1, b=2, t=3 (VM).  dist(a)=dist(b)=1, dist(t)=2.
+  Graph g(4);
+  const auto e_sa = g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 0.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(2, 3, 1.0);
+
+  core::Problem p;
+  p.network = g;
+  p.node_cost = {0.0, 0.0, 0.0, 2.0};
+  p.is_vm = {0, 0, 0, 1};
+  p.sources = {0};
+  p.destinations = {3};
+  p.chain_length = 1;  // 2-stroll: per-entry invalidation is in effect
+
+  auto mc = closure_for_problem(p);
+  core::PricingSession session;
+  const auto before = session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before[0].plan.nodes, (std::vector<NodeId>{0, 1, 3}));  // via a
+
+  // s-a becomes expensive; a stays at dist 1 through the zero-cost edge
+  // from b, t stays at dist 2 — only parents moved.
+  const Cost old_cost = p.network.edge(e_sa).cost;
+  p.network.set_edge_cost(e_sa, 5.0);
+  const std::vector<graph::EdgeCostDelta> deltas{{e_sa, old_cost, 5.0}};
+  std::vector<graph::MetricClosure::RowDelta> rows;
+  mc.refresh(p.network, deltas, 1, nullptr, &rows);
+  EXPECT_EQ(mc.tree(0).distance(1), 1.0);  // the trap: dists unchanged...
+  EXPECT_EQ(mc.tree(0).distance(3), 2.0);
+  EXPECT_EQ(mc.tree(0).parent[3], 2);      // ...but t now hangs off b
+
+  core::ClosureUpdate update;
+  update.kind = core::ClosureUpdate::Kind::kRepaired;
+  update.rows = rows;
+  core::PricingTally tally;
+  const auto after = session.price(p, mc, p.sources, update, {}, 1, &tally);
+  EXPECT_GT(tally.repriced, 0);  // served stale == this test fails
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].plan.nodes, (std::vector<NodeId>{0, 2, 3}));  // via b
+  EXPECT_TRUE(chains_equal(after, core::price_candidate_chains(p, mc, p.sources)));
+}
+
+/// Same trap, |C| >= 2 shape: the flip happens at an interior non-VM node
+/// of a lift segment, so neither the instance matrix nor any (row, VM)
+/// entry changes — only the per-chain lift-path check can catch it.
+TEST(PricingSession, InteriorLiftPathParentFlipReprices) {
+  // Nodes: s=0, a=1, b=2, m1=3 (VM), t=4 (VM); m1 only reachable via a.
+  Graph g(5);
+  const auto e_sa = g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 0.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(3, 4, 1.0);
+
+  core::Problem p;
+  p.network = g;
+  p.node_cost = {0.0, 0.0, 0.0, 1.0, 2.0};
+  p.is_vm = {0, 0, 0, 1, 1};
+  p.sources = {0};
+  p.destinations = {4};
+  p.chain_length = 2;  // 3-strolls read the full matrix
+
+  auto mc = closure_for_problem(p);
+  core::PricingSession session;
+  const auto before = session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(before[0].plan.nodes[1], 1);  // the s->m1 segment runs through a
+
+  const Cost old_cost = p.network.edge(e_sa).cost;
+  p.network.set_edge_cost(e_sa, 5.0);
+  const std::vector<graph::EdgeCostDelta> deltas{{e_sa, old_cost, 5.0}};
+  std::vector<graph::MetricClosure::RowDelta> rows;
+  mc.refresh(p.network, deltas, 1, nullptr, &rows);
+  // Every hub-pair distance survived; a (non-VM, interior) re-parented.
+  EXPECT_EQ(mc.tree(0).distance(3), 2.0);
+  EXPECT_EQ(mc.tree(0).distance(4), 3.0);
+  EXPECT_EQ(mc.tree(0).parent[1], 2);
+
+  core::ClosureUpdate update;
+  update.kind = core::ClosureUpdate::Kind::kRepaired;
+  update.rows = rows;
+  core::PricingTally tally;
+  const auto after = session.price(p, mc, p.sources, update, {}, 1, &tally);
+  EXPECT_GT(tally.repriced, 0);
+  const auto expect = core::price_candidate_chains(p, mc, p.sources);
+  EXPECT_TRUE(chains_equal(after, expect));
+  EXPECT_EQ(after[0].plan.nodes[1], 2);  // the segment re-lifted through b
+}
+
+TEST(PricingSession, SetupCostChangeInvalidatesPerEntryForSingleVnfChains) {
+  Fixture f = random_fixture(8642, 20, 6);
+  auto p = problem_for(f, {0}, 1);
+  const auto mc = closure_for_problem(p);
+
+  core::PricingSession session;
+  (void)session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+
+  // One VM's setup cost moves: a 2-stroll reads only its own entry, so
+  // exactly that chain re-prices and the rest keep hitting.
+  p.node_cost[static_cast<std::size_t>(f.vms[2])] += 1.5;
+  core::PricingTally tally;
+  const auto got =
+      session.price(p, mc, p.sources, core::ClosureUpdate::unchanged(), {}, 1, &tally);
+  EXPECT_EQ(tally.repriced, 1);
+  EXPECT_EQ(tally.hits, static_cast<int>(f.vms.size()) - 1);
+  EXPECT_TRUE(chains_equal(got, core::price_candidate_chains(p, mc, p.sources)));
+}
+
+TEST(PricingSession, SetupCostChangeFlushesMultiVnfChains) {
+  Fixture f = random_fixture(8643, 20, 6);
+  auto p = problem_for(f, {0}, 3);
+  const auto mc = closure_for_problem(p);
+
+  core::PricingSession session;
+  (void)session.price(p, mc, p.sources, core::ClosureUpdate::rebuilt(), {});
+
+  // |C| >= 2: the moved setup cost sits in shared terms of every matrix.
+  p.node_cost[static_cast<std::size_t>(f.vms[2])] += 1.5;
+  core::PricingTally tally;
+  const auto got =
+      session.price(p, mc, p.sources, core::ClosureUpdate::unchanged(), {}, 1, &tally);
+  EXPECT_TRUE(tally.flushed);
+  EXPECT_EQ(tally.hits, 0);
+  EXPECT_TRUE(chains_equal(got, core::price_candidate_chains(p, mc, p.sources)));
 }
 
 }  // namespace
