@@ -15,6 +15,15 @@
 // per-phase breakdown.
 //
 // Flags:
+// PR 6 adds the pipeline panel (DESIGN.md §10): a worker-count sweep of
+// online::serve_pipelined over the same arrival stream, pinned to the
+// container's hardware concurrency (powers of two up to it, floor 2 so the
+// TSan CI cell always exercises real threads), asserting every point's cost
+// series bitwise equal to the sequential epoch driver and reporting
+// admission throughput (arrivals/s).  The machine's hardware_concurrency
+// lands in the JSON so sweeps from different machines stay comparable.
+//
+// Flags:
 //   --smoke   tiny instance (CI: exercises the incremental path in seconds);
 //             the JSON carries "smoke": true so consumers never mistake the
 //             reduced panel set for a full run
@@ -24,8 +33,10 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "bench_util.hpp"
+#include "sofe/online/pipeline.hpp"
 #include "sofe/online/simulator.hpp"
 
 namespace {
@@ -43,6 +54,22 @@ struct SolverMeasurement {
 struct PanelMeasurement {
   std::string name;
   std::vector<SolverMeasurement> solvers;
+};
+
+struct SweepPoint {
+  int workers = 1;
+  double seconds = 0.0;             // pipeline wall time for the whole stream
+  double arrivals_per_second = 0.0;
+  int stale_repriced = 0;           // speculative results discarded + re-solved
+  int speculative_commits = 0;      // speculative results that survived validation
+  bool identical = true;            // series bitwise == sequential epoch driver
+};
+
+struct WorkerSweep {
+  std::string name;
+  int epoch_size = 1;
+  double sequential_seconds = 0.0;  // 1-thread simulate() at the same epoch_size
+  std::vector<SweepPoint> points;
 };
 
 bool series_identical(const sofe::online::OnlineResult& a, const sofe::online::OnlineResult& b) {
@@ -143,6 +170,72 @@ PanelMeasurement run_panel(const char* title, const sofe::topology::Topology& to
   return panel;
 }
 
+// Satellite: the sweep is pinned to THIS machine — powers of two up to
+// max(2, hardware_concurrency).  The floor of 2 keeps the concurrent path
+// (and the TSan CI cell) honest even on single-core containers; the JSON
+// records hardware_concurrency so consumers can normalise across machines.
+unsigned hardware_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<int> sweep_worker_counts() {
+  const unsigned top = std::max(2u, hardware_concurrency());
+  std::vector<int> counts;
+  for (unsigned w = 1; w <= top; w *= 2) counts.push_back(static_cast<int>(w));
+  if (static_cast<unsigned>(counts.back()) != top) counts.push_back(static_cast<int>(top));
+  return counts;
+}
+
+WorkerSweep run_worker_sweep(const char* title, const sofe::topology::Topology& topo,
+                             sofe::online::OnlineConfig cfg, int epoch_size,
+                             const std::vector<int>& worker_counts) {
+  std::cout << "\n" << title << " — pipeline worker sweep (epoch_size " << epoch_size
+            << ", solver sofda)\n";
+  WorkerSweep sweep;
+  sweep.name = title;
+  sweep.epoch_size = epoch_size;
+  cfg.epoch_size = epoch_size;
+
+  // The determinism reference: the sequential epoch driver over the same
+  // stream.  Every sweep point must reproduce this series bit for bit.
+  auto solver = sofe::api::make_solver("sofda");
+  sofe::util::Stopwatch watch;
+  const auto reference = simulate(topo, cfg, *solver);
+  sweep.sequential_seconds = watch.seconds();
+
+  sofe::util::Table table({"workers", "wall_s", "arrivals/s", "speedup", "stale", "spec", "series"});
+  for (int workers : worker_counts) {
+    sofe::online::PipelineOptions popt;
+    popt.workers = workers;
+    watch.reset();
+    const auto got = serve_pipelined(topo, cfg, "sofda", {}, popt);
+    SweepPoint pt;
+    pt.workers = workers;
+    pt.seconds = watch.seconds();
+    pt.arrivals_per_second =
+        pt.seconds > 0.0 ? static_cast<double>(cfg.requests) / pt.seconds : 0.0;
+    pt.stale_repriced = got.stale_repriced;
+    pt.speculative_commits = got.speculative_commits;
+    pt.identical = series_identical(got, reference);
+    if (!pt.identical) {
+      std::cerr << "ERROR: " << title << ": pipeline series at " << workers
+                << " workers diverged from the sequential epoch driver\n";
+    }
+    table.add_row({std::to_string(workers), sofe::util::Table::num(pt.seconds, 3),
+                   sofe::util::Table::num(pt.arrivals_per_second, 1),
+                   sofe::util::Table::num(
+                       pt.seconds > 0.0 ? sweep.sequential_seconds / pt.seconds : 1.0, 2),
+                   std::to_string(pt.stale_repriced), std::to_string(pt.speculative_commits),
+                   pt.identical ? "bit-identical" : "DIVERGED"});
+    sweep.points.push_back(pt);
+  }
+  table.print();
+  std::cout << "sequential epoch driver: " << sofe::util::Table::num(sweep.sequential_seconds, 3)
+            << "s (" << hardware_concurrency() << " hardware threads on this machine)\n";
+  return sweep;
+}
+
 void append_phase_json(std::ostringstream& out, const char* key,
                        const sofe::api::PhaseSummary& s) {
   out << "\"" << key << "\":{\"count\":" << s.count << ",\"total_s\":" << s.total
@@ -150,13 +243,17 @@ void append_phase_json(std::ostringstream& out, const char* key,
       << ",\"max_s\":" << s.max << "}";
 }
 
-void write_json(const std::vector<PanelMeasurement>& panels, bool smoke, const char* path) {
+void write_json(const std::vector<PanelMeasurement>& panels,
+                const std::vector<WorkerSweep>& sweeps, bool smoke, const char* path) {
   std::ostringstream out;
   // "smoke" marks the reduced CI panel set: a --smoke --json run used to
   // overwrite a full BENCH_online.json with fewer panels and no way to
   // tell — consumers (CI artifacts, trend scripts) key on this field.
+  // "hardware_concurrency" keys the worker sweep: the sweep only probes
+  // counts this machine can actually schedule, so throughput points from
+  // different machines are comparable only via this field.
   out << "{\"bench\":\"fig12_online\",\"smoke\":" << (smoke ? "true" : "false")
-      << ",\"panels\":[";
+      << ",\"hardware_concurrency\":" << hardware_concurrency() << ",\"panels\":[";
   for (std::size_t pi = 0; pi < panels.size(); ++pi) {
     const auto& panel = panels[pi];
     out << (pi ? "," : "") << "{\"name\":\"" << panel.name << "\",\"solvers\":[";
@@ -195,6 +292,24 @@ void write_json(const std::vector<PanelMeasurement>& panels, bool smoke, const c
     }
     out << "]}";
   }
+  out << "],\"worker_sweeps\":[";
+  for (std::size_t wi = 0; wi < sweeps.size(); ++wi) {
+    const auto& sweep = sweeps[wi];
+    out << (wi ? "," : "") << "{\"name\":\"" << sweep.name << "\",\"solver\":\"sofda\""
+        << ",\"epoch_size\":" << sweep.epoch_size
+        << ",\"sequential_seconds\":" << sweep.sequential_seconds << ",\"points\":[";
+    for (std::size_t pi = 0; pi < sweep.points.size(); ++pi) {
+      const auto& pt = sweep.points[pi];
+      out << (pi ? "," : "") << "{\"workers\":" << pt.workers << ",\"seconds\":" << pt.seconds
+          << ",\"arrivals_per_second\":" << pt.arrivals_per_second
+          << ",\"speedup_vs_sequential\":"
+          << (pt.seconds > 0.0 ? sweep.sequential_seconds / pt.seconds : 1.0)
+          << ",\"stale_repriced\":" << pt.stale_repriced
+          << ",\"speculative_commits\":" << pt.speculative_commits
+          << ",\"bit_identical\":" << (pt.identical ? "true" : "false") << "}";
+    }
+    out << "]}";
+  }
   out << "]}\n";
   std::ofstream file(path);
   file << out.str();
@@ -212,6 +327,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<PanelMeasurement> panels;
+  std::vector<WorkerSweep> sweeps;
   if (smoke) {
     std::cout << "=== Fig. 12 (smoke): online deployment, incremental pipeline ===\n";
     sofe::online::OnlineConfig cfg;
@@ -223,6 +339,11 @@ int main(int argc, char** argv) {
     cfg.seed = 12;
     panels.push_back(run_panel("SoftLayer, 8 arrivals (smoke)", sofe::topology::softlayer(),
                                cfg, 2));
+    // Smoke sweep keeps workers {1, 2}: enough to drive the concurrent
+    // publish/commit path (the TSan CI cell leans on this) while staying
+    // seconds-fast on one core.
+    sweeps.push_back(run_worker_sweep("SoftLayer (smoke)", sofe::topology::softlayer(), cfg,
+                                      /*epoch_size=*/4, {1, 2}));
   } else {
     std::cout << "=== Fig. 12: online deployment, accumulative cost ===\n";
     {
@@ -300,13 +421,42 @@ int main(int argc, char** argv) {
           "(e) SoftLayer, 30 arrivals, |C|=1, zero setup (per-entry invalidation)",
           sofe::topology::softlayer(), cfg, 5));
     }
+    {
+      // Pipeline worker sweep (DESIGN.md §10): admission throughput of the
+      // epoch-pipelined service on the paper topologies, worker counts
+      // pinned to this machine's hardware concurrency.  Epoch size 8 gives
+      // the workers real in-epoch parallelism to exploit.
+      const auto counts = sweep_worker_counts();
+      sofe::online::OnlineConfig cfg;
+      cfg.requests = 40;
+      cfg.min_destinations = 13;
+      cfg.max_destinations = 17;
+      cfg.min_sources = 8;
+      cfg.max_sources = 12;
+      cfg.seed = 12;
+      sweeps.push_back(run_worker_sweep("SoftLayer, 40 arrivals", sofe::topology::softlayer(),
+                                        cfg, /*epoch_size=*/8, counts));
+      cfg.requests = 32;
+      cfg.min_destinations = 20;
+      cfg.max_destinations = 60;
+      cfg.min_sources = 10;
+      cfg.max_sources = 30;
+      cfg.seed = 13;
+      sweeps.push_back(run_worker_sweep("Cogent, 32 arrivals", sofe::topology::cogent(), cfg,
+                                        /*epoch_size=*/8, counts));
+    }
   }
 
-  if (json) write_json(panels, smoke, "BENCH_online.json");
+  if (json) write_json(panels, sweeps, smoke, "BENCH_online.json");
 
   for (const auto& panel : panels) {
     for (const auto& m : panel.solvers) {
       if (!m.identical) return 1;  // the smoke ctest entry fails loudly
+    }
+  }
+  for (const auto& sweep : sweeps) {
+    for (const auto& pt : sweep.points) {
+      if (!pt.identical) return 1;  // pipeline divergence fails just as loudly
     }
   }
   return 0;

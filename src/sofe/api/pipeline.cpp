@@ -1,0 +1,386 @@
+#include "sofe/online/pipeline.hpp"
+
+// The admission pipeline's engine room (DESIGN.md §10).  Lives in api/
+// because it drives api::Solver sessions — the same layering as the
+// Solver& overload of online::simulate.
+//
+// Thread architecture: N worker threads plus the caller of run(), which
+// serves as both epoch publisher and commit stage.  One mutex guards all
+// shared state; workers claim queued slots, price them OUTSIDE the lock
+// against private Problem replicas (synced once per epoch from the
+// published EdgeCostDelta batch) and the shared read-only closure epoch,
+// and post results back.  The publisher mutates shared state (master
+// Problem, ledger, publisher closure) only while every worker is parked —
+// the `publishing` flag blocks new claims and the `active` counter drains
+// in-flight solves — so the snapshot workers read is immutable by
+// construction, not by convention.
+//
+// Determinism: slots commit in arrival order against the same epoch
+// snapshots the sequential driver uses, and every number that enters the
+// cost series is computed from (epoch snapshot, request) alone.  A
+// speculative result priced at an older generation is validated at the
+// next publish: if any price moved since, the slot is re-queued and
+// re-solved at current prices by the workers (in parallel — staleness
+// never serializes the pipeline); if nothing moved, the input was bitwise
+// identical, so by solver determinism the result is exactly what a fresh
+// solve would return.  Either way the committed value is
+// schedule-independent, which is the whole proof.
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sofe/api/registry.hpp"
+#include "sofe/api/report.hpp"
+#include "sofe/api/solver.hpp"
+#include "sofe/online/stream.hpp"
+#include "sofe/util/stopwatch.hpp"
+
+namespace sofe::online {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}  // namespace
+
+struct Pipeline::Impl {
+  Impl(const topology::Topology& topo, const OnlineConfig& cfg, std::string solver_name,
+       const api::SolverOptions& opt, PipelineOptions popt)
+      : stream(topo, cfg), solver_name(std::move(solver_name)), opt(opt) {
+    workers = popt.workers;
+    if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+    workers = std::max(workers, 1);
+    lookahead = std::max(popt.lookahead_epochs, 0);
+  }
+
+  // --- construction-time (immutable during run) ---
+  ArrivalStream stream;
+  std::string solver_name;
+  api::SolverOptions opt;
+  int workers = 1;
+  int lookahead = 1;
+  api::ReportAccumulator* sink = nullptr;
+  bool ran = false;
+
+  // --- shared state, guarded by mu ---
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers: claimable slot / shutdown
+  std::condition_variable cv_main;  // driver: result posted / worker parked
+  bool publishing = true;           // true until the first epoch publishes
+  bool done = false;
+  int active = 0;                    // workers inside a solve
+  std::uint64_t generation = 0;      // epochs published so far
+  int next_slot = 0;                 // lowest never-claimed slot
+  int dispatch_limit = 0;            // slots [0, dispatch_limit) are claimable
+  std::deque<int> requeued;          // stale slots awaiting a re-solve (sorted)
+  std::exception_ptr failure;        // first worker exception, rethrown by run()
+
+  // One entry per published epoch: payloads[g] is the snapshot advance
+  // from generation g to g + 1.  Workers fold the batches they missed
+  // into their replicas at claim time (under mu; O(moved links) per
+  // epoch), which is how "ONE EdgeCostDelta batch per epoch" reaches
+  // every worker-side repair and pricing invalidation.
+  struct Payload {
+    std::vector<graph::EdgeCostDelta> deltas;
+    std::vector<Cost> node_cost;  // full post-refresh vector (VM setups)
+    bool moved = false;           // any link or node cost changed
+  };
+  std::deque<Payload> payloads;
+
+  // The published closure epoch, copied by workers at claim time.  Only
+  // meaningful when use_epoch (the solver family prices against shared
+  // closures); rewritten by the publisher while quiesced.
+  api::ClosureEpoch epoch;
+  bool use_epoch = false;
+
+  struct Slot {
+    bool ready = false;
+    std::uint64_t priced_generation = 0;
+    ServiceForest forest;
+    api::SolveReport report;
+    double solve_seconds = 0.0;
+    double queue_seconds = 0.0;
+  };
+  std::vector<Slot> slots;
+  std::vector<SteadyClock::time_point> eligible_at;  // when the slot became claimable
+
+  // Publisher-side scratch (driver thread only).
+  api::ClosureSession publisher;
+  std::vector<core::NodeId> union_hubs;
+  std::vector<std::uint8_t> hub_mark;
+
+  // Diagnostics folded into OnlineResult (driver thread only).
+  int stale_repriced = 0;
+  int speculative_commits = 0;
+
+  bool moved_since(std::uint64_t priced_gen) const {
+    for (std::uint64_t g = priced_gen; g < generation; ++g) {
+      if (payloads[static_cast<std::size_t>(g)].moved) return true;
+    }
+    return false;
+  }
+
+  void worker_main(Problem replica);
+  void publish_epoch(int first, int* count, int committed);
+  OnlineResult run();
+};
+
+void Pipeline::Impl::worker_main(Problem replica) {
+  // Worker-private solver session and Problem replica: the replica starts
+  // at the pre-stream master and advances one published delta batch per
+  // epoch, so its prices are bitwise the epoch snapshot's at the claimed
+  // generation.
+  const auto solver = api::make_solver(solver_name, opt);
+  std::uint64_t synced = 0;
+
+  std::unique_lock lock(mu);
+  for (;;) {
+    cv_work.wait(lock, [&] {
+      return done || (!publishing && (!requeued.empty() || next_slot < dispatch_limit));
+    });
+    if (done) return;
+
+    // Claim: stale re-solves first (the commit stage is blocked on them),
+    // then the lowest unclaimed slot — the arrival queue is FIFO.
+    int r = 0;
+    if (!requeued.empty()) {
+      r = requeued.front();
+      requeued.pop_front();
+    } else {
+      r = next_slot++;
+    }
+    const std::uint64_t gen = generation;
+    const api::ClosureEpoch epoch_copy = epoch;
+    ++active;
+
+    // Replica sync under the lock (payloads grow only under mu): apply
+    // every delta batch published since this worker last priced.
+    while (synced < gen) {
+      const Payload& pl = payloads[static_cast<std::size_t>(synced)];
+      for (const graph::EdgeCostDelta& d : pl.deltas) {
+        replica.network.set_edge_cost(d.edge, d.new_cost);
+      }
+      replica.node_cost = pl.node_cost;
+      ++synced;
+    }
+    const Request& req = stream.request(r);
+    const double queue_seconds =
+        std::chrono::duration<double>(SteadyClock::now() -
+                                      eligible_at[static_cast<std::size_t>(r)])
+            .count();
+    lock.unlock();
+
+    replica.sources = req.sources;
+    replica.destinations = req.destinations;
+    const util::Stopwatch watch;
+    ServiceForest forest;
+    try {
+      forest = use_epoch ? solver->solve_epoch(replica, epoch_copy) : solver->solve(replica);
+    } catch (...) {
+      lock.lock();
+      if (!failure) failure = std::current_exception();
+      done = true;
+      --active;
+      cv_main.notify_all();
+      cv_work.notify_all();
+      return;
+    }
+    const double solve_seconds = watch.seconds();
+
+    lock.lock();
+    Slot& s = slots[static_cast<std::size_t>(r)];
+    s.ready = true;
+    s.priced_generation = gen;
+    s.forest = std::move(forest);
+    s.report = solver->report();
+    s.solve_seconds = solve_seconds;
+    s.queue_seconds = queue_seconds;
+    --active;
+    cv_main.notify_all();
+  }
+}
+
+void Pipeline::Impl::publish_epoch(int first, int* count, int committed) {
+  const int total = stream.requests();
+  const int S = stream.epoch_size();
+
+  std::unique_lock lock(mu);
+  publishing = true;  // block new claims...
+  cv_main.wait(lock, [&] { return active == 0; });  // ...and drain in-flight ones
+
+  // Every worker is parked: shared state is ours to mutate.
+  if (use_epoch) publisher.retire();
+
+  Payload pl;
+  bool node_moved = false;
+  *count = stream.open_epoch(first, &pl.deltas, &node_moved);
+  pl.node_cost = stream.master().node_cost;
+  pl.moved = !pl.deltas.empty() || node_moved;
+  payloads.push_back(std::move(pl));
+  ++generation;
+
+  const int window_end = std::min(total, first + (1 + lookahead) * S);
+
+  if (use_epoch) {
+    // Union hubs over the whole claimable window: the VMs plus every
+    // source any worker may price before the next publish — current epoch
+    // and speculative lookahead alike.  Extras are invisible to queries
+    // (§8 union semantics), so covering generously never changes results.
+    union_hubs = stream.master().vms();
+    hub_mark.assign(static_cast<std::size_t>(stream.master().network.node_count()), 0);
+    for (core::NodeId vm : union_hubs) hub_mark[static_cast<std::size_t>(vm)] = 1;
+    for (int r = first; r < window_end; ++r) {
+      for (core::NodeId s : stream.request(r).sources) {
+        if (!hub_mark[static_cast<std::size_t>(s)]) {
+          hub_mark[static_cast<std::size_t>(s)] = 1;
+          union_hubs.push_back(s);
+        }
+      }
+    }
+    api::ClosureRequest req;
+    req.threads = opt.threads;
+    req.incremental = opt.incremental;
+    // Epoch closures are always unbounded: truncated trees cannot be
+    // repaired per epoch, and the re-homing fallback queries
+    // hub-to-destination rows for arbitrary queued requests.
+    req.bounded = false;
+    api::SolveReport publish_report;
+    epoch = publisher.publish(stream.master().network, union_hubs, req, publish_report);
+  }
+
+  // Stale-price rule (§10): every posted speculative result is validated
+  // now, against the batches published since it was priced.  Nothing
+  // moved -> its inputs were bitwise the fresh ones, keep it (it will
+  // count as a speculative commit).  Something moved -> discard and
+  // re-queue; workers re-solve the slot at the new generation, in
+  // parallel with the rest of the epoch.
+  for (int r = committed; r < dispatch_limit; ++r) {
+    Slot& s = slots[static_cast<std::size_t>(r)];
+    if (s.ready && s.priced_generation < generation && moved_since(s.priced_generation)) {
+      s.ready = false;
+      s.forest = ServiceForest{};
+      requeued.push_back(r);
+      ++stale_repriced;
+    }
+  }
+
+  // Extend the claimable window and wake the floor.
+  const auto now = SteadyClock::now();
+  for (int r = dispatch_limit; r < window_end; ++r) {
+    eligible_at[static_cast<std::size_t>(r)] = now;
+  }
+  dispatch_limit = window_end;
+  publishing = false;
+  lock.unlock();
+  cv_work.notify_all();
+}
+
+OnlineResult Pipeline::Impl::run() {
+  assert(!ran && "Pipeline::run() may be called once");
+  ran = true;
+
+  const int total = stream.requests();
+  slots.resize(static_cast<std::size_t>(total));
+  eligible_at.resize(static_cast<std::size_t>(total));
+
+  // Probe the registry once for the family's name and closure appetite;
+  // workers build their own sessions.
+  OnlineResult result;
+  {
+    const auto probe = api::make_solver(solver_name, opt);
+    result.algorithm = std::string(probe->name());
+    use_epoch = probe->wants_epoch_closure();
+  }
+  result.workers = workers;
+  result.epoch_size = stream.epoch_size();
+  result.arrival_seconds.assign(static_cast<std::size_t>(total), 0.0);
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    // Replicas are copied before the first epoch opens, so no worker can
+    // observe a half-refreshed master.
+    pool.emplace_back(&Impl::worker_main, this, stream.master());
+  }
+
+  Cost accumulated = 0.0;
+  for (int first = 0; first < total && !failure;) {
+    int count = 0;
+    {
+      const util::Stopwatch publish_watch;
+      publish_epoch(first, &count, first);
+      result.publish_seconds += publish_watch.seconds();
+    }
+
+    for (int r = first; r < first + count; ++r) {
+      Slot s;
+      {
+        std::unique_lock lock(mu);
+        cv_main.wait(lock, [&] {
+          return slots[static_cast<std::size_t>(r)].ready || failure != nullptr;
+        });
+        if (failure) break;
+        s = std::move(slots[static_cast<std::size_t>(r)]);
+      }
+      // The slot survived every stale scan since it was priced, so its
+      // result is bitwise what a fresh solve at this generation returns.
+      if (s.priced_generation < generation) ++speculative_commits;
+
+      const util::Stopwatch commit_watch;
+      const Cost cost = stream.commit(r, s.forest);
+      if (s.forest.empty()) {
+        ++result.infeasible_requests;
+      } else {
+        accumulated += cost;
+      }
+      result.per_request_cost.push_back(s.forest.empty() ? 0.0 : cost);
+      result.accumulative_cost.push_back(accumulated);
+      result.arrival_seconds[static_cast<std::size_t>(r)] = s.solve_seconds;
+      if (sink != nullptr) {
+        sink->add(s.report);
+        sink->add_queue_wait(s.queue_seconds);
+        sink->add_commit(commit_watch.seconds());
+      }
+    }
+    first += count;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    done = true;
+  }
+  cv_work.notify_all();
+  for (std::thread& th : pool) th.join();
+  if (use_epoch) publisher.retire();
+  if (failure) std::rethrow_exception(failure);
+
+  result.overloaded_links = stream.overloaded_links();
+  result.stale_repriced = stale_repriced;
+  result.speculative_commits = speculative_commits;
+  return result;
+}
+
+Pipeline::Pipeline(const topology::Topology& topo, const OnlineConfig& cfg,
+                   std::string solver_name, const api::SolverOptions& opt, PipelineOptions popt)
+    : impl_(std::make_unique<Impl>(topo, cfg, std::move(solver_name), opt, popt)) {}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::set_report_sink(api::ReportAccumulator* sink) noexcept { impl_->sink = sink; }
+
+OnlineResult Pipeline::run() { return impl_->run(); }
+
+OnlineResult serve_pipelined(const topology::Topology& topo, const OnlineConfig& cfg,
+                             const std::string& solver_name, const api::SolverOptions& opt,
+                             PipelineOptions popt) {
+  return Pipeline(topo, cfg, solver_name, opt, popt).run();
+}
+
+}  // namespace sofe::online

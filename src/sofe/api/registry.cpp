@@ -26,6 +26,8 @@ class SofdaSolver final : public Solver {
 
   std::string_view name() const noexcept override { return name_; }
 
+  bool wants_epoch_closure() const noexcept override { return true; }
+
  protected:
   ServiceForest do_solve(const Problem& p, SolveReport& r) override {
     if (p.destinations.empty()) return {};
@@ -44,6 +46,12 @@ class SofdaSolver final : public Solver {
     // complete the settle scope of a bounded closure.
     req.settle_targets = p.destinations;
     const auto& closure = session_.acquire(p.network, hubs, req, r);
+    if (epoch_priced_) {
+      // The cache is keyed to a published epoch closure, whose changes are
+      // not in this session's own update stream: restart cold.
+      pricing_.invalidate();
+      epoch_priced_ = false;
+    }
 
     util::Stopwatch watch;
     std::vector<core::PricedChain> candidates;
@@ -70,10 +78,52 @@ class SofdaSolver final : public Solver {
     return f;
   }
 
+  ServiceForest do_solve_epoch(const Problem& p, const ClosureEpoch& epoch,
+                               SolveReport& r) override {
+    if (p.destinations.empty()) return {};
+    if (p.chain_length == 0) {
+      // Pure multicast: the closure epoch is irrelevant.
+      return core::sofda(p, opt_.algo(), &r.sofda);
+    }
+    // The published closure replaces the session's own: it covers the
+    // union of every hub any worker of the epoch window needs (the
+    // publisher guarantees this), and union extras are invisible to
+    // queries — so candidates and forests are bit-identical to do_solve
+    // on the same problem.
+    const graph::MetricClosure& closure = *epoch.closure;
+    assert(closure.is_hub(p.sources.front()) && "publisher must cover the epoch window's hubs");
+    r.closure_hubs = static_cast<int>(closure.hub_count());
+    r.closure_cache_hit = epoch.update.kind == core::ClosureUpdate::Kind::kUnchanged;
+    r.closure_repaired = epoch.update.kind == core::ClosureUpdate::Kind::kRepaired;
+
+    util::Stopwatch watch;
+    std::vector<core::PricedChain> candidates;
+    if (opt_.incremental_pricing) {
+      // Fork-from-epoch pricing (DESIGN.md §10): the epoch's one update
+      // reaches every worker; price_epoch dedups it by generation.
+      core::PricingTally tally;
+      candidates = pricing_.price_epoch(p, closure, p.sources, epoch.generation, epoch.update,
+                                        opt_.algo(), opt_.threads, &tally);
+      r.pricing_hits = tally.hits;
+      r.pricing_repriced = tally.repriced;
+      r.pricing_flushed = tally.flushed;
+      epoch_priced_ = true;
+    } else {
+      pricing_.invalidate();
+      candidates = core::price_candidate_chains(p, closure, p.sources, opt_.algo(), opt_.threads);
+    }
+    r.pricing_seconds = watch.seconds();
+    watch.reset();
+    ServiceForest f = core::sofda_from_candidates(p, closure, candidates, opt_.algo(), &r.sofda);
+    r.solve_seconds = watch.seconds();
+    return f;
+  }
+
  private:
   std::string name_;
   ClosureSession session_;
   core::PricingSession pricing_;
+  bool epoch_priced_ = false;  // pricing cache keyed to an epoch closure
 };
 
 /// SOFDA-SS session over p.sources.front(); the closure over

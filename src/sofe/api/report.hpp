@@ -47,6 +47,13 @@ class ReportAccumulator {
     if (r.pricing_flushed) ++pricing_flushes_;
   }
 
+  /// Pipeline phases (DESIGN.md §10), sampled by online::Pipeline's commit
+  /// stage rather than by solvers: how long an arrival sat claimable in
+  /// the queue before a worker picked it up, and how long its commit-stage
+  /// turn took (stale validation + any re-solve + ledger charge).
+  void add_queue_wait(double seconds) { queue_wait_.push_back(seconds); }
+  void add_commit(double seconds) { commit_.push_back(seconds); }
+
   /// Resets the accumulator to its freshly-constructed state.
   void clear() { *this = ReportAccumulator{}; }
 
@@ -76,6 +83,11 @@ class ReportAccumulator {
   PhaseSummary solve() const { return summarize(solve_); }
   /// Summary of full solve() wall time, seconds.
   PhaseSummary total() const { return summarize(total_); }
+  /// Summary of arrival queue wait, seconds (pipeline workloads; empty
+  /// count for sequential drivers).
+  PhaseSummary queue_wait() const { return summarize(queue_wait_); }
+  /// Summary of per-arrival commit-stage time, seconds (pipeline).
+  PhaseSummary commit() const { return summarize(commit_); }
 
  private:
   static PhaseSummary summarize(std::vector<double> samples) {
@@ -98,6 +110,7 @@ class ReportAccumulator {
   }
 
   std::vector<double> closure_, pricing_, solve_, total_;
+  std::vector<double> queue_wait_, commit_;
   std::size_t cache_hits_ = 0;
   std::size_t repairs_ = 0;
   std::size_t infeasible_ = 0;

@@ -27,6 +27,7 @@ const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
                                                     const std::vector<NodeId>& hubs,
                                                     const ClosureRequest& req,
                                                     SolveReport& report) {
+  assert(!published_ && "retire() the epoch before acquiring again");
   report.closure_hubs = static_cast<int>(hubs.size());
   const auto edges = g.edges();
 
@@ -120,12 +121,41 @@ const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
   return closure_;
 }
 
+ClosureEpoch ClosureSession::publish(const graph::Graph& g, const std::vector<NodeId>& hubs,
+                                     const ClosureRequest& req, SolveReport& report) {
+  // acquire() carries its own !published_ assert; the outcome it records
+  // (hit / repair / rebuild) becomes the epoch's snapshot advance.
+  (void)acquire(g, hubs, req, report);
+  published_ = true;
+  ++generation_;
+  ClosureEpoch epoch;
+  epoch.closure = &closure_;
+  epoch.update = last_update();
+  epoch.generation = generation_;
+  return epoch;
+}
+
 ServiceForest Solver::solve(const Problem& p) {
   assert(p.well_formed());
   report_ = SolveReport{};
   report_.solver = std::string(name());
   const util::Stopwatch watch;
   ServiceForest f = do_solve(p, report_);
+  report_.total_seconds = watch.seconds();
+  report_.feasible = !f.empty();
+  report_.total_cost = report_.feasible ? core::total_cost(p, f) : 0.0;
+  if (sink_ != nullptr) sink_->add(report_);
+  return f;
+}
+
+ServiceForest Solver::solve_epoch(const Problem& p, const ClosureEpoch& epoch) {
+  assert(p.well_formed());
+  assert((!wants_epoch_closure() || epoch.closure != nullptr) &&
+         "this solver prices against the published closure");
+  report_ = SolveReport{};
+  report_.solver = std::string(name());
+  const util::Stopwatch watch;
+  ServiceForest f = do_solve_epoch(p, epoch, report_);
   report_.total_seconds = watch.seconds();
   report_.feasible = !f.empty();
   report_.total_cost = report_.feasible ? core::total_cost(p, f) : 0.0;

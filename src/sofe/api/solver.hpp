@@ -16,6 +16,8 @@
 // dist::distributed_sofda, exact::solve_exact) remain as one-shot shims;
 // solvers are obtained by name through the SolverRegistry (registry.hpp).
 
+#include <cassert>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -141,6 +143,22 @@ struct ClosureRequest {
   std::span<const NodeId> settle_targets;
 };
 
+/// A published read-only closure epoch (DESIGN.md §10): the immutable
+/// snapshot handle the admission pipeline's worker sessions price against.
+/// Produced by ClosureSession::publish, consumed by Solver::solve_epoch.
+/// The closure pointer and the update spans stay valid — and safe for any
+/// number of concurrent readers — until the publishing session's retire().
+struct ClosureEpoch {
+  const graph::MetricClosure* closure = nullptr;
+  /// The snapshot advance from the previous epoch to this one, in the
+  /// shape core::PricingSession consumes: what publish()'s acquire did.
+  core::ClosureUpdate update;
+  /// Monotone per-publisher epoch counter (1 = first publish).  Workers
+  /// feed it to PricingSession::price_epoch, which dedups the update by
+  /// generation and flushes on gaps.
+  std::uint64_t generation = 0;
+};
+
 /// Session-scoped MetricClosure cache shared by the concrete solvers.
 ///
 /// `acquire` returns a closure holding Dijkstra trees for `hubs` over `g`,
@@ -190,7 +208,24 @@ class ClosureSession {
   }
 
   /// Drops the cached closure (the next acquire rebuilds).
-  void invalidate() { valid_ = false; }
+  void invalidate() {
+    assert(!published_ && "retire() the epoch before invalidating the session");
+    valid_ = false;
+  }
+
+  /// Publishes the session closure as a read-only epoch (DESIGN.md §10):
+  /// acquires exactly as acquire() would — hit, repair or rebuild — then
+  /// bumps the epoch generation and returns the handle N pipeline workers
+  /// may query concurrently.  Between publish() and retire() the session
+  /// closure is frozen: acquire() and invalidate() assert, and the caller
+  /// must not touch `g` while any reader holds the handle.
+  ClosureEpoch publish(const graph::Graph& g, const std::vector<NodeId>& hubs,
+                       const ClosureRequest& req, SolveReport& report);
+
+  /// Ends the published epoch's sharing phase.  The caller guarantees no
+  /// reader still dereferences the handle; the cached closure itself is
+  /// retained, so the next publish() repairs instead of rebuilding.
+  void retire() noexcept { published_ = false; }
 
   /// The session's single-thread build engine (exposed so solvers can run
   /// auxiliary queries against persistent workspaces).
@@ -200,6 +235,8 @@ class ClosureSession {
   graph::MetricClosure closure_;
   graph::ShortestPathEngine engine_;
   bool valid_ = false;
+  bool published_ = false;          // epoch handle outstanding (publish/retire)
+  std::uint64_t generation_ = 0;    // epochs published by this session
   NodeId key_nodes_ = 0;
   std::vector<graph::Edge> key_edges_;
   std::vector<NodeId> key_hubs_;     // exact-sequence key (non-incremental/bounded)
@@ -236,6 +273,20 @@ class Solver {
   /// solve().
   ServiceForest solve(const Problem& p);
 
+  /// Embeds one instance against a published closure epoch (DESIGN.md
+  /// §10): instead of maintaining its own ClosureSession, the solver
+  /// prices against `epoch.closure` — shared, read-only, covering every
+  /// hub the instance needs — and keys its caches to `epoch.generation`.
+  /// Results are bit-identical to solve() on the same problem (the epoch
+  /// is a cache, never an input).  Solvers that don't consume shared
+  /// closures (wants_epoch_closure() == false) fall back to solve()
+  /// semantics; callers may then skip publishing entirely.
+  ServiceForest solve_epoch(const Problem& p, const ClosureEpoch& epoch);
+
+  /// Whether solve_epoch actually reads the published closure.  The
+  /// pipeline skips the per-epoch publish when no worker would use it.
+  virtual bool wants_epoch_closure() const noexcept { return false; }
+
   const SolveReport& report() const noexcept { return report_; }
 
   /// Optional aggregation sink: every finished solve()'s report is folded
@@ -253,6 +304,16 @@ class Solver {
   /// The algorithm body.  `report` arrives zeroed except for `solver`;
   /// feasible/total_cost/total_seconds are filled by the wrapper.
   virtual ServiceForest do_solve(const Problem& p, SolveReport& report) = 0;
+
+  /// The epoch-mode body.  The default ignores the epoch and runs
+  /// do_solve — correct for every solver (epochs are caches), merely
+  /// missing the sharing; SofdaSolver overrides it to price against the
+  /// published closure.
+  virtual ServiceForest do_solve_epoch(const Problem& p, const ClosureEpoch& epoch,
+                                       SolveReport& report) {
+    (void)epoch;
+    return do_solve(p, report);
+  }
 
   SolverOptions opt_;
 

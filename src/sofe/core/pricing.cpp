@@ -195,6 +195,9 @@ std::vector<PricedChain> PricingSession::price(const Problem& p,
                                                PricingTally* tally) {
   assert(p.well_formed());
   assert(p.chain_length >= 1 && "multicast-only problems have no chains to price");
+  // A direct price() call leaves epoch mode: the caller's own update
+  // stream now keys the cache, so the next price_epoch must flush.
+  epoch_seen_ = false;
   PricingTally local;
   PricingTally& t = tally != nullptr ? *tally : local;
   t = PricingTally{};
@@ -329,6 +332,29 @@ std::vector<PricedChain> PricingSession::price(const Problem& p,
     t.repriced += per_repriced[i];
   }
   return candidates;
+}
+
+std::vector<PricedChain> PricingSession::price_epoch(const Problem& p,
+                                                     const graph::MetricClosure& closure,
+                                                     const std::vector<NodeId>& sources,
+                                                     std::uint64_t generation,
+                                                     const ClosureUpdate& update,
+                                                     const AlgoOptions& opt, int num_threads,
+                                                     PricingTally* tally) {
+  // Generation dedup (pricing.hpp): the publisher hands the SAME update to
+  // every worker that prices during an epoch, so only the first call of a
+  // generation may apply it; a repeat sees an unchanged closure and a gap
+  // (or a mode switch, or a brand-new session) flushes.
+  ClosureUpdate effective = update;
+  if (epoch_seen_ && generation == epoch_generation_) {
+    effective = ClosureUpdate::unchanged();
+  } else if (!epoch_seen_ || generation != epoch_generation_ + 1) {
+    effective = ClosureUpdate::rebuilt();
+  }
+  auto out = price(p, closure, sources, effective, opt, num_threads, tally);
+  epoch_seen_ = true;  // price() cleared it; this call stays in epoch mode
+  epoch_generation_ = generation;
+  return out;
 }
 
 }  // namespace sofe::core

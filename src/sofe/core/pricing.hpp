@@ -93,6 +93,30 @@ class PricingSession {
                                  const AlgoOptions& opt, int num_threads = 1,
                                  PricingTally* tally = nullptr);
 
+  /// Fork-from-epoch mode (DESIGN.md §10): N worker sessions price against
+  /// ONE publisher-maintained closure whose change stream arrives once per
+  /// epoch as (generation, update) — api::ClosureEpoch.  A session must
+  /// see every closure change exactly once, but an epoch's update reaches
+  /// every worker that prices during it; this entry point dedups by
+  /// generation so each worker applies each epoch's movement once:
+  ///   * same generation as the previous call  -> the closure is bitwise
+  ///     the one already observed: unchanged();
+  ///   * exactly the next generation           -> `update` describes the
+  ///     one-step advance: apply it;
+  ///   * a gap, or the session's first epoch   -> this worker missed at
+  ///     least one epoch's row deltas (it priced nothing that epoch):
+  ///     flush — sound, never fast.
+  /// Mixing price() and price_epoch() on one session re-keys the cache to
+  /// whichever closure came last: the next price_epoch after a plain
+  /// price() flushes (first-epoch rule), and callers switching the other
+  /// way must invalidate() — the epoch closure's changes are not in their
+  /// own update stream.
+  std::vector<PricedChain> price_epoch(const Problem& p, const graph::MetricClosure& closure,
+                                       const std::vector<NodeId>& sources,
+                                       std::uint64_t generation, const ClosureUpdate& update,
+                                       const AlgoOptions& opt, int num_threads = 1,
+                                       PricingTally* tally = nullptr);
+
   /// Drops every cached chain and the shared block (next price() starts
   /// cold).  Call when closure changes may have gone unobserved.
   void invalidate();
@@ -118,6 +142,12 @@ class PricingSession {
                     Bucket& bucket, kstroll::InstanceAssembler& assembler,
                     const AlgoOptions& opt, std::vector<PricedChain>& out, int& hits,
                     int& repriced);
+
+  // Epoch-mode state (price_epoch): the last generation whose update this
+  // session consumed.  Reset by price() so mode switches never replay or
+  // skip an update.
+  bool epoch_seen_ = false;
+  std::uint64_t epoch_generation_ = 0;
 
   // Session key: a mismatch on any of these is a structural change that
   // flushes everything (chains AND block).

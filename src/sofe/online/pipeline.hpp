@@ -1,0 +1,85 @@
+#pragma once
+// Epoch-pipelined concurrent arrival service (DESIGN.md §10).
+//
+// The production shape of the online layer: arrivals queue up, N worker
+// sessions price different queued arrivals in parallel against one
+// immutable epoch snapshot (graph prices + published read-only metric
+// closure + ledger state frozen at epoch open), and a single commit stage
+// serializes ledger writes in arrival order — folding each epoch's price
+// movements into ONE EdgeCostDelta batch that drives closure repair and
+// pricing-cache invalidation per epoch instead of per arrival.
+//
+// Determinism contract: for every (topology, OnlineConfig) the cost series
+// is bitwise identical to the sequential driver `online::simulate` at the
+// same epoch_size, at ANY worker count — the sequential loop is the
+// 1-worker degenerate case, and OnlineConfig::epoch_size = 1 makes both of
+// them the paper's per-arrival Fig. 12 loop.  Workers may speculate one
+// epoch ahead; a speculative result priced against epoch E commits at
+// E + k only if no price moved in between (then it is bitwise the fresh
+// result, by solver determinism), otherwise it is discarded and the slot
+// re-solves at current prices (the stale-price repricing rule, §10).
+//
+// Declared here in the online layer, implemented in src/sofe/api/
+// pipeline.cpp: the pipeline drives api::Solver sessions, and the layer
+// DAG has api on top of online (the same split as the Solver& overload of
+// online::simulate).
+
+#include <memory>
+#include <string>
+
+#include "sofe/online/simulator.hpp"
+
+namespace sofe::api {
+class ReportAccumulator;
+struct SolverOptions;
+}  // namespace sofe::api
+
+namespace sofe::online {
+
+struct PipelineOptions {
+  /// Pricing worker threads.  0 = std::thread::hardware_concurrency();
+  /// 1 reproduces the sequential driver's schedule with the pipeline's
+  /// machinery (still bit-identical — as is every other count).
+  int workers = 1;
+  /// How many epochs ahead an idle worker may speculate (it prices a
+  /// not-yet-opened slot against the current snapshot; the stale-price
+  /// rule validates or re-solves at commit).  0 disables speculation.
+  int lookahead_epochs = 1;
+};
+
+/// The admission pipeline.  One instance serves one arrival stream; run()
+/// may be called once.  Construction validates the OnlineConfig
+/// (std::invalid_argument on nonsense) and resolves `solver_name` against
+/// the global SolverRegistry — each worker owns a private solver session
+/// built from these options, plus a private Problem replica advanced by
+/// the per-epoch delta batch.
+class Pipeline {
+ public:
+  Pipeline(const topology::Topology& topo, const OnlineConfig& cfg, std::string solver_name,
+           const api::SolverOptions& opt, PipelineOptions popt = {});
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Optional aggregation sink, folded on the commit thread only: every
+  /// committed arrival's SolveReport plus its queue-wait and commit-stage
+  /// samples.  Attach before run(); must outlive it.
+  void set_report_sink(api::ReportAccumulator* sink) noexcept;
+
+  /// Serves the whole stream: spawns the workers, runs the epoch publish /
+  /// commit loop on the calling thread, joins, and returns the same
+  /// OnlineResult the sequential driver produces (plus the pipeline
+  /// diagnostics fields).  Worker exceptions are rethrown here.
+  OnlineResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience one-shot: Pipeline(...).run().
+OnlineResult serve_pipelined(const topology::Topology& topo, const OnlineConfig& cfg,
+                             const std::string& solver_name, const api::SolverOptions& opt,
+                             PipelineOptions popt = {});
+
+}  // namespace sofe::online

@@ -1,133 +1,51 @@
 #include "sofe/online/simulator.hpp"
 
-#include <algorithm>
-#include <set>
+#include "sofe/online/stream.hpp"
+#include "sofe/util/stopwatch.hpp"
 
 namespace sofe::online {
 
-using costmodel::LoadLedger;
-using graph::EdgeId;
-using graph::NodeId;
-
 OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
                       const std::string& algo_name, const EmbedFn& embed) {
-  util::Rng rng(cfg.seed ^ 0x0427);
-
-  // ONE persistent Problem for the whole stream (see simulator.hpp):
-  // topology + VM nodes (vms_per_dc per DC), as in the paper's online
-  // setup.  VM i is hosted on DC host i / vms_per_dc.  Per arrival only
-  // sources/destinations and the prices that actually moved are mutated,
-  // so the CSR cache refreshes costs in place and solver sessions see
-  // cost-only deltas.
-  Problem p;
-  p.network = topo.g;
-  p.chain_length = cfg.chain_length;
-  const NodeId n_access = topo.g.node_count();
-  p.node_cost.assign(static_cast<std::size_t>(n_access), 0.0);
-  p.is_vm.assign(static_cast<std::size_t>(n_access), 0);
-  std::vector<std::size_t> vm_host;  // per VM node (indexed from n_access)
-  for (std::size_t h = 0; h < topo.dc_nodes.size(); ++h) {
-    for (int i = 0; i < cfg.vms_per_dc; ++i) {
-      const NodeId vm = p.network.add_node();
-      p.network.add_edge(vm, topo.dc_nodes[h], 0.0);
-      p.node_cost.push_back(0.0);
-      p.is_vm.push_back(1);
-      vm_host.push_back(h);
-    }
-  }
-
-  LoadLedger ledger(static_cast<std::size_t>(topo.g.edge_count()), cfg.link_capacity,
-                    topo.dc_nodes.size(), cfg.host_capacity);
-
-  // Per-request ledger charges, kept so a departure (cfg.holding_arrivals)
-  // can return exactly what its admission took.
-  struct Charges {
-    std::vector<EdgeId> links;       // one entry per charged stream copy
-    std::vector<std::size_t> hosts;  // one entry per enabled VNF slot
-  };
-  std::vector<Charges> charges(static_cast<std::size_t>(std::max(cfg.requests, 0)));
+  // The sequential epoch driver: the scenario's semantics (request
+  // sampling, master Problem, price refreshes, departures, commit order)
+  // live in ArrivalStream, shared with the pipelined service.  At the
+  // default epoch_size 1 every epoch is a single arrival and this loop is
+  // the paper's Fig. 12 loop, bit for bit; at S > 1 it is the determinism
+  // reference online::Pipeline must reproduce at every worker count
+  // (DESIGN.md §10).
+  ArrivalStream stream(topo, cfg);
 
   OnlineResult result;
   result.algorithm = algo_name;
+  result.epoch_size = cfg.epoch_size;
   Cost accumulated = 0.0;
 
-  for (int r = 0; r < cfg.requests; ++r) {
-    // --- departures first: the request admitted holding_arrivals ago
-    // releases its charges, so this arrival's price refresh below emits the
-    // corresponding cost-restore deltas.
-    if (cfg.holding_arrivals > 0 && r >= cfg.holding_arrivals) {
-      Charges& old = charges[static_cast<std::size_t>(r - cfg.holding_arrivals)];
-      for (EdgeId e : old.links) ledger.remove_link_load(e, cfg.demand_mbps);
-      for (std::size_t h : old.hosts) ledger.remove_host_load(h, 1.0);
-      old = Charges{};
-    }
-
-    // --- sample the request (identical across algorithms for a fixed seed).
-    // Sources and destinations are drawn independently (a node may play both
-    // roles — the paper's SoftLayer setting of up to 17 destinations plus 12
-    // sources does not fit 27 nodes otherwise).
-    const int n_dst = rng.uniform_int(cfg.min_destinations, cfg.max_destinations);
-    const int n_src = rng.uniform_int(cfg.min_sources, cfg.max_sources);
-    const auto dst_pick = rng.sample_without_replacement(
-        static_cast<std::size_t>(n_access),
-        static_cast<std::size_t>(std::min(n_dst, static_cast<int>(n_access))));
-    const auto src_pick = rng.sample_without_replacement(
-        static_cast<std::size_t>(n_access),
-        static_cast<std::size_t>(std::min(n_src, static_cast<int>(n_access))));
-
-    p.sources.assign(src_pick.begin(), src_pick.end());
-    p.destinations.assign(dst_pick.begin(), dst_pick.end());
-
-    // --- refresh prices from current loads, writing only real changes (an
-    // untouched link keeps its cost, its CSR entry and its place outside
-    // the session's delta list).
-    for (EdgeId e = 0; e < topo.g.edge_count(); ++e) {
-      const Cost price = ledger.link_price(e, cfg.demand_mbps);
-      if (p.network.edge(e).cost != price) p.network.set_edge_cost(e, price);
-    }
-    for (std::size_t i = 0; i < vm_host.size(); ++i) {
-      p.node_cost[static_cast<std::size_t>(n_access) + i] =
-          cfg.setup_scale * ledger.host_price(vm_host[i]);
-    }
-
-    // --- embed (cfg.copy_problems: the historical copy-per-arrival driver,
-    // kept as the differential-testing reference).
-    const ServiceForest forest = [&] {
-      if (!cfg.copy_problems) return embed(p);
-      const Problem copy = p;
-      return embed(copy);
-    }();
-    if (forest.empty()) {
-      ++result.infeasible_requests;
-      result.per_request_cost.push_back(0.0);
+  for (int first = 0; first < cfg.requests;) {
+    const int count = stream.open_epoch(first);
+    for (int r = first; r < first + count; ++r) {
+      const Problem& p = stream.stage(r);
+      const util::Stopwatch watch;
+      const ServiceForest forest = [&] {
+        if (!cfg.copy_problems) return embed(p);
+        // The historical copy-per-arrival driver, kept as the
+        // differential-testing reference.
+        const Problem copy = p;
+        return embed(copy);
+      }();
+      result.arrival_seconds.push_back(watch.seconds());
+      const Cost cost = stream.commit(r, forest);
+      if (forest.empty()) {
+        ++result.infeasible_requests;
+      } else {
+        accumulated += cost;
+      }
+      result.per_request_cost.push_back(forest.empty() ? 0.0 : cost);
       result.accumulative_cost.push_back(accumulated);
-      continue;
     }
-    const Cost cost = core::total_cost(p, forest);
-    accumulated += cost;
-    result.per_request_cost.push_back(cost);
-    result.accumulative_cost.push_back(accumulated);
-
-    // --- charge the ledger: one stream copy per distinct (stage, link) use,
-    // one VNF slot per enabled VM.
-    Charges& mine = charges[static_cast<std::size_t>(r)];
-    for (const auto& se : forest.stage_edges()) {
-      const EdgeId e = p.network.find_edge(se.u, se.v);
-      if (e < topo.g.edge_count()) {  // physical links only (VM taps are free)
-        ledger.add_link_load(e, cfg.demand_mbps);
-        if (cfg.holding_arrivals > 0) mine.links.push_back(e);
-      }
-    }
-    for (const auto& [vm, idx] : forest.enabled_vms()) {
-      (void)idx;
-      if (vm >= n_access) {
-        const std::size_t host = vm_host[static_cast<std::size_t>(vm - n_access)];
-        ledger.add_host_load(host, 1.0);
-        if (cfg.holding_arrivals > 0) mine.hosts.push_back(host);
-      }
-    }
+    first += count;
   }
-  result.overloaded_links = ledger.overloaded_links();
+  result.overloaded_links = stream.overloaded_links();
   return result;
 }
 

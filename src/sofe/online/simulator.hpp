@@ -54,14 +54,35 @@ struct OnlineConfig {
   /// must be bit-identical either way (tested) — the persistent path
   /// differs only in what the session caches can reuse, never in values.
   bool copy_problems = false;
+  /// Price-refresh granularity (DESIGN.md §10): link and VM prices refresh
+  /// from the ledger once per epoch of this many arrivals, and every
+  /// arrival of an epoch is priced against that one immutable snapshot
+  /// (commits still apply in arrival order).  1 — the default, and the
+  /// paper's Fig. 12 setting — refreshes per arrival, reproducing the
+  /// historical loop bit for bit.  Values > 1 define the semantics the
+  /// epoch-pipelined `online::Pipeline` parallelizes: the sequential
+  /// driver at epoch_size S is the determinism reference the pipeline must
+  /// match at every worker count.
+  int epoch_size = 1;
 };
 
 struct OnlineResult {
   std::string algorithm;
   std::vector<Cost> accumulative_cost;  // after each arrival
   std::vector<Cost> per_request_cost;
+  /// Per-arrival embed wall time (the solve alone — queue wait and commit
+  /// bookkeeping excluded), so throughput panels are self-describing.
+  std::vector<double> arrival_seconds;
   int infeasible_requests = 0;
   std::size_t overloaded_links = 0;  // links beyond capacity at the end
+  int workers = 1;     // echo: pricing workers (1 = the sequential driver)
+  int epoch_size = 1;  // echo: OnlineConfig::epoch_size
+  // Pipeline-only diagnostics.  Timing-dependent — two runs of the same
+  // scenario may split speculation differently — so they are excluded from
+  // every determinism comparison; the cost series above never varies.
+  int stale_repriced = 0;       // speculative results discarded and re-solved
+  int speculative_commits = 0;  // speculative results that validated as fresh
+  double publish_seconds = 0.0; // commit-thread wall spent publishing epochs
 };
 
 /// Runs the request sequence against one algorithm.  The identical sequence

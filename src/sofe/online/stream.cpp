@@ -1,0 +1,199 @@
+#include "sofe/online/stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace sofe::online {
+
+using costmodel::LoadLedger;
+using graph::EdgeId;
+using graph::NodeId;
+
+void validate(const OnlineConfig& cfg) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("OnlineConfig: " + what);
+  };
+  if (cfg.requests <= 0) {
+    fail("requests must be > 0 (got " + std::to_string(cfg.requests) + ")");
+  }
+  if (cfg.min_destinations < 1 || cfg.min_destinations > cfg.max_destinations) {
+    fail("destination range requires 1 <= min_destinations <= max_destinations (got [" +
+         std::to_string(cfg.min_destinations) + ", " + std::to_string(cfg.max_destinations) + "])");
+  }
+  if (cfg.min_sources < 1 || cfg.min_sources > cfg.max_sources) {
+    fail("source range requires 1 <= min_sources <= max_sources (got [" +
+         std::to_string(cfg.min_sources) + ", " + std::to_string(cfg.max_sources) + "])");
+  }
+  if (cfg.chain_length < 0) {
+    fail("chain_length must be >= 0 (got " + std::to_string(cfg.chain_length) + ")");
+  }
+  if (cfg.vms_per_dc < 0) {
+    fail("vms_per_dc must be >= 0 (got " + std::to_string(cfg.vms_per_dc) + ")");
+  }
+  if (cfg.demand_mbps < 0.0) fail("demand_mbps must be >= 0");
+  if (cfg.link_capacity <= 0.0) fail("link_capacity must be > 0");
+  if (cfg.host_capacity <= 0.0) fail("host_capacity must be > 0");
+  if (cfg.setup_scale < 0.0) fail("setup_scale must be >= 0");
+  if (cfg.holding_arrivals < 0) {
+    fail("holding_arrivals must be >= 0 (got " + std::to_string(cfg.holding_arrivals) + ")");
+  }
+  if (cfg.epoch_size < 1) {
+    fail("epoch_size must be >= 1 (got " + std::to_string(cfg.epoch_size) + ")");
+  }
+}
+
+ArrivalStream::ArrivalStream(const topology::Topology& topo, const OnlineConfig& cfg)
+    : cfg_(cfg),
+      ledger_(static_cast<std::size_t>(topo.g.edge_count()), cfg.link_capacity,
+              topo.dc_nodes.size(), cfg.host_capacity) {
+  validate(cfg);
+
+  // ONE persistent Problem for the whole stream (see simulator.hpp):
+  // topology + VM nodes (vms_per_dc per DC), as in the paper's online
+  // setup.  VM i is hosted on DC host i / vms_per_dc.  Per arrival only
+  // sources/destinations and the prices that actually moved are mutated,
+  // so the CSR cache refreshes costs in place and solver sessions see
+  // cost-only deltas.
+  master_.network = topo.g;
+  master_.chain_length = cfg.chain_length;
+  n_access_ = topo.g.node_count();
+  n_physical_ = topo.g.edge_count();
+  master_.node_cost.assign(static_cast<std::size_t>(n_access_), 0.0);
+  master_.is_vm.assign(static_cast<std::size_t>(n_access_), 0);
+  for (std::size_t h = 0; h < topo.dc_nodes.size(); ++h) {
+    for (int i = 0; i < cfg.vms_per_dc; ++i) {
+      const NodeId vm = master_.network.add_node();
+      master_.network.add_edge(vm, topo.dc_nodes[h], 0.0);
+      master_.node_cost.push_back(0.0);
+      master_.is_vm.push_back(1);
+      vm_host_.push_back(h);
+    }
+  }
+
+  // Pre-sample the whole arrival sequence.  The draw order per request —
+  // destination count, source count, destination pick, source pick — is
+  // exactly the historical per-arrival sampler's, and the RNG stream never
+  // observed solver output, so pulling the loop out of the drivers changes
+  // nothing (pinned by the bit-identity tests).  Sources and destinations
+  // are drawn independently (a node may play both roles — the paper's
+  // SoftLayer setting of up to 17 destinations plus 12 sources does not fit
+  // 27 nodes otherwise).
+  util::Rng rng(cfg.seed ^ 0x0427);
+  requests_.reserve(static_cast<std::size_t>(cfg.requests));
+  for (int r = 0; r < cfg.requests; ++r) {
+    const int n_dst = rng.uniform_int(cfg.min_destinations, cfg.max_destinations);
+    const int n_src = rng.uniform_int(cfg.min_sources, cfg.max_sources);
+    const auto dst_pick = rng.sample_without_replacement(
+        static_cast<std::size_t>(n_access_),
+        static_cast<std::size_t>(std::min(n_dst, static_cast<int>(n_access_))));
+    const auto src_pick = rng.sample_without_replacement(
+        static_cast<std::size_t>(n_access_),
+        static_cast<std::size_t>(std::min(n_src, static_cast<int>(n_access_))));
+    Request req;
+    req.sources.assign(src_pick.begin(), src_pick.end());
+    req.destinations.assign(dst_pick.begin(), dst_pick.end());
+    requests_.push_back(std::move(req));
+  }
+
+  charges_.resize(static_cast<std::size_t>(cfg.requests));
+}
+
+void ArrivalStream::release(int admitted_slot) {
+  Charges& old = charges_[static_cast<std::size_t>(admitted_slot)];
+  for (EdgeId e : old.links) ledger_.remove_link_load(e, cfg_.demand_mbps);
+  for (std::size_t h : old.hosts) ledger_.remove_host_load(h, 1.0);
+  old = Charges{};
+}
+
+int ArrivalStream::open_epoch(int first, std::vector<graph::EdgeCostDelta>* moved,
+                              bool* node_costs_moved) {
+  assert(first >= 0 && first < cfg_.requests);
+  epoch_first_ = first;
+  const int count = std::min(cfg_.epoch_size, cfg_.requests - first);
+
+  // Departures due inside this epoch whose admission predates it release
+  // now, before the single refresh — each contributes its cost-restore
+  // deltas to the epoch batch.  A departure whose admission also falls
+  // inside the epoch releases at its due slot's commit() instead; ledger
+  // charges commute, so the NEXT epoch's snapshot is identical to the
+  // sequential interleaving, and at epoch_size 1 this block is exactly the
+  // historical release-then-refresh order.
+  if (cfg_.holding_arrivals > 0) {
+    for (int due = first; due < first + count; ++due) {
+      const int admitted = due - cfg_.holding_arrivals;
+      if (admitted >= 0 && admitted < first) release(admitted);
+    }
+  }
+
+  // One price refresh for the whole epoch, writing only real changes (an
+  // untouched link keeps its cost, its CSR entry and its place outside the
+  // delta batch).
+  if (moved != nullptr) moved->clear();
+  bool node_moved = false;
+  for (EdgeId e = 0; e < n_physical_; ++e) {
+    const Cost price = ledger_.link_price(e, cfg_.demand_mbps);
+    const Cost old = master_.network.edge(e).cost;
+    if (old != price) {
+      master_.network.set_edge_cost(e, price);
+      if (moved != nullptr) moved->push_back({e, old, price});
+    }
+  }
+  for (std::size_t i = 0; i < vm_host_.size(); ++i) {
+    const Cost price = cfg_.setup_scale * ledger_.host_price(vm_host_[i]);
+    Cost& slot = master_.node_cost[static_cast<std::size_t>(n_access_) + i];
+    if (slot != price) {
+      slot = price;
+      node_moved = true;
+    }
+  }
+  if (node_costs_moved != nullptr) *node_costs_moved = node_moved;
+  return count;
+}
+
+const core::Problem& ArrivalStream::stage(int r) {
+  const Request& req = request(r);
+  master_.sources = req.sources;
+  master_.destinations = req.destinations;
+  return master_;
+}
+
+core::Cost ArrivalStream::commit(int r, const core::ServiceForest& forest) {
+  assert(r >= epoch_first_ && r < epoch_first_ + cfg_.epoch_size);
+
+  // The intra-epoch departure: admitted after this epoch opened, due now.
+  if (cfg_.holding_arrivals > 0) {
+    const int admitted = r - cfg_.holding_arrivals;
+    if (admitted >= epoch_first_) release(admitted);
+  }
+
+  if (forest.empty()) return 0.0;
+  const Cost cost = core::total_cost(master_, forest);
+
+  // Charge the ledger: one stream copy per distinct (stage, link) use, one
+  // VNF slot per enabled VM.  total_cost above reads only network costs
+  // and node_cost — never the ledger — so the epoch snapshot stays frozen
+  // while its arrivals commit.
+  Charges& mine = charges_[static_cast<std::size_t>(r)];
+  for (const auto& se : forest.stage_edges()) {
+    const EdgeId e = master_.network.find_edge(se.u, se.v);
+    if (e < n_physical_) {  // physical links only (VM taps are free)
+      ledger_.add_link_load(e, cfg_.demand_mbps);
+      if (cfg_.holding_arrivals > 0) mine.links.push_back(e);
+    }
+  }
+  for (const auto& [vm, idx] : forest.enabled_vms()) {
+    (void)idx;
+    if (vm >= n_access_) {
+      const std::size_t host = vm_host_[static_cast<std::size_t>(vm - n_access_)];
+      ledger_.add_host_load(host, 1.0);
+      if (cfg_.holding_arrivals > 0) mine.hosts.push_back(host);
+    }
+  }
+  return cost;
+}
+
+std::size_t ArrivalStream::overloaded_links() const { return ledger_.overloaded_links(); }
+
+}  // namespace sofe::online

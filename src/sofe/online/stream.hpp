@@ -1,0 +1,114 @@
+#pragma once
+// The deterministic arrival stream shared by the sequential driver and the
+// epoch-pipelined admission service (DESIGN.md §10).
+//
+// Everything that defines the online scenario's semantics lives here, in one
+// place, so `online::simulate` and `online::Pipeline` cannot drift: the
+// pre-sampled request sequence (the RNG stream never depends on solver
+// output, so all requests are drawn up front), the persistent master
+// Problem, the load ledger, and the epoch protocol — price refreshes happen
+// once per epoch of `OnlineConfig::epoch_size` arrivals, departures release
+// at exactly the sequential points, and ledger charges commit in arrival
+// order.  At epoch_size 1 the protocol degenerates to the paper's
+// per-arrival Fig. 12 loop, bit for bit.
+
+#include <vector>
+
+#include "sofe/online/simulator.hpp"
+
+namespace sofe::online {
+
+/// One pre-sampled arrival: the node sets the request asks to serve.
+struct Request {
+  std::vector<core::NodeId> sources;
+  std::vector<core::NodeId> destinations;
+};
+
+/// Checks an OnlineConfig and throws std::invalid_argument with a message
+/// naming the offending field instead of letting a degenerate configuration
+/// silently produce an empty or malformed request sequence.
+void validate(const OnlineConfig& cfg);
+
+/// The online scenario's state machine.  One instance is driven by exactly
+/// one thread (the sequential driver, or the pipeline's commit stage); the
+/// pre-sampled requests are immutable after construction and safe for
+/// concurrent readers.
+///
+/// Epoch protocol (DESIGN.md §10): the driver calls, in order,
+///   open_epoch(first)          — releases pre-epoch departures, refreshes
+///                                prices once; master() now carries the
+///                                epoch snapshot every arrival of the epoch
+///                                is priced against
+///   commit(r, forest)          — for each slot r of the epoch in arrival
+///                                order: releases intra-epoch departures due
+///                                at r, charges the embedding, returns its
+///                                cost at the snapshot prices
+/// and repeats until the stream is exhausted.
+class ArrivalStream {
+ public:
+  /// Validates cfg (throws std::invalid_argument), builds the persistent
+  /// master Problem (topology + vms_per_dc VM taps per DC) and pre-samples
+  /// the whole request sequence from cfg.seed — the identical sequence the
+  /// historical per-arrival sampler produced.
+  ArrivalStream(const topology::Topology& topo, const OnlineConfig& cfg);
+
+  int requests() const noexcept { return cfg_.requests; }
+  int epoch_size() const noexcept { return cfg_.epoch_size; }
+  const OnlineConfig& config() const noexcept { return cfg_; }
+
+  /// Slot r's pre-sampled request.  Immutable; safe from any thread.
+  const Request& request(int r) const {
+    return requests_[static_cast<std::size_t>(r)];
+  }
+
+  /// The persistent Problem at the current epoch's snapshot prices.
+  /// Mutated only by open_epoch (prices) and stage (sources/destinations).
+  const core::Problem& master() const noexcept { return master_; }
+
+  /// Opens the epoch covering slots [first, first + count) where
+  /// count = min(epoch_size, requests - first): releases the charges of
+  /// every departure due in the epoch whose admission predates it, then
+  /// refreshes link prices and VM setup costs from the ledger — writing
+  /// only values that actually moved, so the master keeps its CSR cache
+  /// and solver sessions see a cost-only delta batch.  Returns count.
+  /// `moved` (optional) receives one EdgeCostDelta per rewritten link;
+  /// `node_costs_moved` is set when any VM setup cost changed.
+  int open_epoch(int first, std::vector<graph::EdgeCostDelta>* moved = nullptr,
+                 bool* node_costs_moved = nullptr);
+
+  /// Stages slot r's request on the master (sources/destinations assigned
+  /// in place) and returns it, ready to hand to an embedder.
+  const core::Problem& stage(int r);
+
+  /// Commits slot r in arrival order: releases the intra-epoch departure
+  /// due at r (one admitted inside the current epoch — pre-epoch ones were
+  /// released by open_epoch), then charges the embedding's bandwidth and
+  /// VNF placements to the ledger and returns its cost at the epoch
+  /// snapshot prices.  An empty forest charges nothing and returns 0.
+  core::Cost commit(int r, const core::ServiceForest& forest);
+
+  /// Links loaded beyond capacity right now (the end-of-stream statistic).
+  std::size_t overloaded_links() const;
+
+ private:
+  void release(int admitted_slot);
+
+  OnlineConfig cfg_;
+  core::Problem master_;
+  costmodel::LoadLedger ledger_;
+  std::vector<std::size_t> vm_host_;  // per VM node (indexed from n_access_)
+  std::vector<Request> requests_;
+  graph::NodeId n_access_ = 0;   // nodes of the physical topology
+  graph::EdgeId n_physical_ = 0; // edges of the physical topology
+  int epoch_first_ = 0;          // first slot of the open epoch
+
+  // Per-request ledger charges, kept so a departure can return exactly
+  // what its admission took.
+  struct Charges {
+    std::vector<graph::EdgeId> links;  // one entry per charged stream copy
+    std::vector<std::size_t> hosts;    // one entry per enabled VNF slot
+  };
+  std::vector<Charges> charges_;
+};
+
+}  // namespace sofe::online
