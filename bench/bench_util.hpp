@@ -4,9 +4,13 @@
 // the paper reports; absolute magnitudes are ours (our substrate is a
 // simulator), the *shape* is the reproduction target.
 
+#include <cstddef>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +18,8 @@
 #include "sofe/api/registry.hpp"
 #include "sofe/api/report.hpp"
 #include "sofe/core/validate.hpp"
+#include "sofe/dist/dist_sofda.hpp"
+#include "sofe/online/simulator.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/stopwatch.hpp"
 #include "sofe/util/table.hpp"
@@ -206,6 +212,169 @@ inline void run_cost_figure(const topology::Topology& topo, bool with_exact, dou
     rows.emplace_back(display, &acc.at(display));
   }
   print_phase_breakdown("per-solve phase breakdown (all sweeps)", rows);
+}
+
+// ------------------------------------------------------------------------
+// Multi-controller k-sweep panel (DESIGN.md §11): shared by the Cogent and
+// Inet cost figures.  For each controller count it runs the one-shot
+// distributed solve (sharded closure build + row exchange) and an online
+// arrival loop with the "dist/k=<k>" session solver, asserting both stay
+// *bitwise* identical to the centralized "sofda" run — the property the
+// sharded stitch guarantees — and reporting the scaling the sharding buys:
+// per-controller closure build time shrinking with k, exchanged bytes
+// tracking |borders|·|hubs ∪ borders| rather than |V|².
+
+struct DistSweepPoint {
+  int k = 1;                    // controllers requested (== used on these instances)
+  double closure_build_seconds = 0.0;        // slowest controller (critical path)
+  double closure_build_seconds_total = 0.0;  // sum over controllers (the k=1 work)
+  double stitch_seconds = 0.0;
+  std::size_t exchanged_rows = 0;
+  std::size_t exchanged_entries = 0;
+  std::size_t skeleton_edges = 0;
+  std::size_t messages = 0;
+  std::size_t payload_bytes = 0;  // whole-protocol wire bytes (incl. row exchange)
+  int rounds = 0;
+  double arrival_loop_seconds = 0.0;  // online stream through the dist session
+  bool identical = true;              // one-shot forest AND online series == "sofda"
+};
+
+struct DistSweep {
+  std::string topology;
+  int nodes = 0;
+  int edges = 0;
+  std::size_t hub_count = 0;  // VMs + sources of the one-shot instance
+  std::vector<DistSweepPoint> points;
+};
+
+inline bool dist_forests_identical(const core::ServiceForest& a, const core::ServiceForest& b) {
+  if (a.walks.size() != b.walks.size()) return false;
+  for (std::size_t i = 0; i < a.walks.size(); ++i) {
+    if (a.walks[i].source != b.walks[i].source ||
+        a.walks[i].destination != b.walks[i].destination ||
+        a.walks[i].nodes != b.walks[i].nodes || a.walks[i].vnf_pos != b.walks[i].vnf_pos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool dist_series_identical(const online::OnlineResult& a, const online::OnlineResult& b) {
+  if (a.accumulative_cost.size() != b.accumulative_cost.size()) return false;
+  for (std::size_t i = 0; i < a.accumulative_cost.size(); ++i) {
+    if (a.accumulative_cost[i] != b.accumulative_cost[i]) return false;  // bitwise
+    if (a.per_request_cost[i] != b.per_request_cost[i]) return false;
+  }
+  return a.infeasible_requests == b.infeasible_requests &&
+         a.overloaded_links == b.overloaded_links;
+}
+
+inline DistSweep run_dist_ksweep(const topology::Topology& topo, topology::ProblemConfig cfg,
+                                 const online::OnlineConfig& online_cfg,
+                                 const std::vector<int>& ks = {1, 2, 4, 8}) {
+  DistSweep sweep;
+  sweep.topology = topo.name;
+  sweep.nodes = static_cast<int>(topo.g.node_count());
+  sweep.edges = static_cast<int>(topo.g.edge_count());
+
+  const auto p = topology::make_problem(topo, cfg);
+  sweep.hub_count = p.vms().size() + p.sources.size();
+  core::SofdaStats central_stats;
+  const auto central = core::sofda(p, {}, &central_stats);
+
+  // The online determinism reference: the same stream through "sofda".
+  auto central_solver = api::make_solver("sofda");
+  const auto central_series = simulate(topo, online_cfg, *central_solver);
+
+  std::cout << "\nmulti-controller k-sweep (" << sweep.topology << ", " << sweep.nodes
+            << " nodes, " << sweep.edges << " links, " << sweep.hub_count << " hubs, "
+            << online_cfg.requests << " online arrivals)\n";
+  util::Table table({"k", "build_s(max)", "build_s(sum)", "stitch_s", "rows", "KB",
+                     "skel_edges", "rounds", "arrivals_s", "vs sofda"});
+  for (int k : ks) {
+    DistSweepPoint pt;
+    pt.k = k;
+    const auto r = dist::distributed_sofda(p, k);
+    pt.closure_build_seconds = r.closure_build_seconds;
+    pt.closure_build_seconds_total = r.closure_build_seconds_total;
+    pt.stitch_seconds = r.stitch_seconds;
+    pt.exchanged_rows = r.exchanged_rows;
+    pt.exchanged_entries = r.exchanged_entries;
+    pt.skeleton_edges = r.skeleton_edges;
+    pt.messages = r.messages;
+    pt.payload_bytes = r.payload_bytes;
+    pt.rounds = r.rounds;
+    pt.identical = dist_forests_identical(r.forest, central) &&
+                   r.stats.steiner_tree_cost == central_stats.steiner_tree_cost;
+
+    auto solver = api::make_solver("dist/k=" + std::to_string(k));
+    util::Stopwatch watch;
+    const auto series = simulate(topo, online_cfg, *solver);
+    pt.arrival_loop_seconds = watch.seconds();
+    pt.identical = pt.identical && dist_series_identical(series, central_series);
+    if (!pt.identical) {
+      std::cerr << "ERROR: dist/k=" << k << " diverged from the centralized sofda run on "
+                << sweep.topology << "\n";
+    }
+
+    table.add_row({std::to_string(k), util::Table::num(pt.closure_build_seconds * 1e3, 2) + "ms",
+                   util::Table::num(pt.closure_build_seconds_total * 1e3, 2) + "ms",
+                   util::Table::num(pt.stitch_seconds * 1e3, 2) + "ms",
+                   std::to_string(pt.exchanged_rows),
+                   util::Table::num(static_cast<double>(pt.payload_bytes) / 1024.0, 1),
+                   std::to_string(pt.skeleton_edges), std::to_string(pt.rounds),
+                   util::Table::num(pt.arrival_loop_seconds, 3),
+                   pt.identical ? "bit-identical" : "DIVERGED"});
+    sweep.points.push_back(pt);
+  }
+  table.print();
+  std::cout << "(k=1 is the centralized fallback: no exchange, no rounds; at k>1 the row\n"
+            << " exchange ships O(|borders|*|hubs+borders|) entries, never |V|^2)\n";
+  return sweep;
+}
+
+inline void write_dist_json(const std::string& bench_name, const std::vector<DistSweep>& sweeps,
+                            bool smoke, const char* path) {
+  std::ostringstream out;
+  // "smoke" marks reduced CI panels, exactly as in BENCH_online.json:
+  // consumers must never mistake the shrunken instance for a full run.
+  out << "{\"bench\":\"" << bench_name << "\",\"smoke\":" << (smoke ? "true" : "false")
+      << ",\"sweeps\":[";
+  for (std::size_t si = 0; si < sweeps.size(); ++si) {
+    const auto& s = sweeps[si];
+    out << (si ? "," : "") << "{\"topology\":\"" << s.topology << "\",\"nodes\":" << s.nodes
+        << ",\"edges\":" << s.edges << ",\"hubs\":" << s.hub_count << ",\"points\":[";
+    for (std::size_t pi = 0; pi < s.points.size(); ++pi) {
+      const auto& pt = s.points[pi];
+      out << (pi ? "," : "") << "{\"k\":" << pt.k
+          << ",\"closure_build_seconds\":" << pt.closure_build_seconds
+          << ",\"closure_build_seconds_total\":" << pt.closure_build_seconds_total
+          << ",\"stitch_seconds\":" << pt.stitch_seconds
+          << ",\"exchanged_rows\":" << pt.exchanged_rows
+          << ",\"exchanged_entries\":" << pt.exchanged_entries
+          << ",\"exchanged_bytes\":" << pt.exchanged_entries * sizeof(core::Cost)
+          << ",\"skeleton_edges\":" << pt.skeleton_edges << ",\"messages\":" << pt.messages
+          << ",\"payload_bytes\":" << pt.payload_bytes << ",\"rounds\":" << pt.rounds
+          << ",\"arrival_loop_seconds\":" << pt.arrival_loop_seconds
+          << ",\"bit_identical\":" << (pt.identical ? "true" : "false") << "}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+  std::ofstream file(path);
+  file << out.str();
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Exit status for the dist panel: nonzero when any point diverged from the
+/// centralized run (the smoke ctest entry fails loudly on it).
+inline bool dist_sweeps_identical(const std::vector<DistSweep>& sweeps) {
+  for (const auto& s : sweeps) {
+    for (const auto& pt : s.points) {
+      if (!pt.identical) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace sofe::bench

@@ -28,7 +28,7 @@ int main() {
             << " (certificate " << central_solver->report().sofda.steiner_tree_cost << ")\n\n";
 
   util::Table table({"controllers", "forest cost", "certificate", "messages",
-                     "payload items", "rounds", "feasible"});
+                     "payload KB", "rounds", "feasible"});
   for (int k : {1, 2, 4, 6}) {
     const auto solver = api::make_solver("dist/k=" + std::to_string(k));
     const auto forest = solver->solve(p);
@@ -36,12 +36,15 @@ int main() {
     const auto report = core::validate(p, forest);
     table.add_row({std::to_string(k), util::Table::num(r.total_cost, 2),
                    util::Table::num(r.sofda.steiner_tree_cost, 2),
-                   std::to_string(r.messages), std::to_string(r.payload_items),
+                   std::to_string(r.messages),
+                   util::Table::num(static_cast<double>(r.payload_bytes) / 1024.0, 1),
                    std::to_string(r.rounds), report.ok ? "yes" : "NO"});
   }
   table.print();
   std::cout << "\nThe certificate (the Steiner tree cost in the auxiliary graph) is\n"
-               "identical for every controller count: the controllers exchange\n"
-               "border-distance matrices, so chain pricing is exact everywhere.\n";
+               "identical for every controller count: each controller builds the\n"
+               "closure of its own domain and ships only its border/hub rows, and\n"
+               "the coordinator's stitched view is bitwise the global closure\n"
+               "(DESIGN.md §11) — so chain pricing is exact everywhere.\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "sofe/api/registry.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <charconv>
 #include <stdexcept>
@@ -180,6 +181,14 @@ class BaselineSolver final : public Solver {
   std::string name_;
 };
 
+/// Multi-controller SOFDA as a session: the sharded closure (DESIGN.md §11)
+/// persists across solves through ClosureSession::acquire_sharded, so an
+/// arrival stream's repeated solves repair the per-domain shards and
+/// re-exchange only dirtied border rows instead of rebuilding and
+/// re-shipping the whole advertisement every call.  Every exchange — cold
+/// or incremental — is charged on a per-solve MessageBus, and results stay
+/// bit-identical to the free dist::distributed_sofda at any k and thread
+/// count (tested).
 class DistSolver final : public Solver {
  public:
   DistSolver(SolverOptions opt, int controllers)
@@ -191,20 +200,48 @@ class DistSolver final : public Solver {
 
  protected:
   ServiceForest do_solve(const Problem& p, SolveReport& r) override {
+    const int n = static_cast<int>(p.network.node_count());
+    const int k = std::clamp(controllers_, 1, std::max(n, 1));
+    if (k == 1 || p.chain_length == 0 || p.destinations.empty()) {
+      // One controller or a pipeline-less instance: centralized, no
+      // protocol, nothing worth caching across solves.
+      util::Stopwatch watch;
+      auto result = dist::distributed_sofda(p, k, opt_.algo());
+      r.solve_seconds = watch.seconds();
+      fill(r, result);
+      return std::move(result.forest);
+    }
+
+    dist::MessageBus bus;
+    std::vector<NodeId> hubs = p.vms();
+    hubs.insert(hubs.end(), p.sources.begin(), p.sources.end());
+    ClosureRequest req;
+    req.threads = opt_.threads;
+    req.incremental = opt_.incremental;
+    req.bounded = opt_.bounded_closure;
+    req.settle_targets = p.destinations;  // the sharded advertisement targets
+    const dist::ShardedClosure& sc = session_.acquire_sharded(p.network, hubs, k, req, bus, r);
+
     util::Stopwatch watch;
-    auto result = dist::distributed_sofda(p, controllers_, opt_.algo());
+    auto result = dist::distributed_sofda_with(p, sc, bus, opt_.algo());
     r.solve_seconds = watch.seconds();
-    r.sofda = result.stats;
-    r.controllers = result.controllers;
-    r.messages = result.messages;
-    r.payload_items = result.payload_items;
-    r.rounds = result.rounds;
+    fill(r, result);
     return std::move(result.forest);
   }
 
  private:
+  static void fill(SolveReport& r, const dist::DistSofdaResult& result) {
+    r.sofda = result.stats;
+    r.controllers = result.controllers;
+    r.messages = result.messages;
+    r.payload_items = result.payload_items;
+    r.payload_bytes = result.payload_bytes;
+    r.rounds = result.rounds;
+  }
+
   int controllers_;
   std::string name_;
+  ClosureSession session_;
 };
 
 class ExactSolver final : public Solver {
@@ -296,7 +333,22 @@ std::unique_ptr<Solver> SolverRegistry::create(std::string_view name,
                                                const SolverOptions& opt) const {
   const auto it = entries_.find(name);
   if (it != entries_.end()) return it->second.factory(opt);
-  if (const int k = parse_dist_controllers(name); k > 0) {
+  if (constexpr std::string_view kDistPrefix = "dist/k="; name.starts_with(kDistPrefix)) {
+    // The dist family is parameterized, so create() parses — and a request
+    // that *names* the family but botches the parameter is a malformed
+    // argument, not an unknown solver: reject it loudly (naming the field)
+    // instead of silently clamping or falling through to the generic list.
+    const std::string_view num = name.substr(kDistPrefix.size());
+    int k = 0;
+    const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), k);
+    if (ec != std::errc{} || ptr != num.data() + num.size()) {
+      throw std::invalid_argument("dist/k: controller count must be a base-10 integer, got \"" +
+                                  std::string(num) + "\"");
+    }
+    if (k < 1) {
+      throw std::invalid_argument("dist/k: controller count must be >= 1, got " +
+                                  std::to_string(k));
+    }
     return std::make_unique<DistSolver>(opt, k);
   }
   std::string msg = "unknown solver \"" + std::string(name) + "\"; registered:";

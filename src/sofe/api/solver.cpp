@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "sofe/api/report.hpp"
+#include "sofe/dist/sharded_closure.hpp"
 #include "sofe/online/simulator.hpp"
 #include "sofe/util/stopwatch.hpp"
 
@@ -22,6 +23,11 @@ OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
 }  // namespace sofe::online
 
 namespace sofe::api {
+
+// Out of line so solver.hpp can hold the sharded cache behind an incomplete
+// dist::ShardedClosure (the api header stays free of dist includes).
+ClosureSession::ClosureSession() = default;
+ClosureSession::~ClosureSession() = default;
 
 const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
                                                     const std::vector<NodeId>& hubs,
@@ -116,9 +122,107 @@ const graph::MetricClosure& ClosureSession::acquire(const graph::Graph& g,
     key_hubs_ = hubs;
     key_targets_.assign(req.settle_targets.begin(), req.settle_targets.end());
     valid_ = true;
+    sharded_valid_ = false;  // the key storage no longer describes the sharded cache
   }
   report.closure_seconds = watch.seconds();
   return closure_;
+}
+
+const dist::ShardedClosure& ClosureSession::acquire_sharded(
+    const graph::Graph& g, const std::vector<NodeId>& hubs, int controllers,
+    const ClosureRequest& req, dist::MessageBus& bus, SolveReport& report) {
+  assert(!published_ && "retire() the epoch before acquiring again");
+  assert(controllers >= 1);
+  report.closure_hubs = static_cast<int>(hubs.size());
+  const auto edges = g.edges();
+
+  // Same exact key as acquire(), plus the controller count: a different k
+  // means a different partition, different borders, a different exchange —
+  // the cached shards describe nothing of the new deployment.
+  const bool structure_same =
+      sharded_valid_ && sharded_ != nullptr && sharded_->bounded() == req.bounded &&
+      sharded_k_ == controllers && key_nodes_ == g.node_count() &&
+      key_edges_.size() == edges.size() &&
+      std::equal(edges.begin(), edges.end(), key_edges_.begin(),
+                 [](const graph::Edge& a, const graph::Edge& b) {
+                   return a.u == b.u && a.v == b.v;
+                 });
+
+  deltas_.clear();
+  missing_.clear();
+  bool hubs_ok = false;
+  if (structure_same) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].cost != key_edges_[i].cost) {
+        deltas_.push_back(graph::EdgeCostDelta{static_cast<graph::EdgeId>(i),
+                                               key_edges_[i].cost, edges[i].cost});
+      }
+    }
+    if (req.incremental && !req.bounded) {
+      for (NodeId h : hubs) {
+        if (!sharded_->closure().is_hub(h)) missing_.push_back(h);
+      }
+      hubs_ok = missing_.empty();
+    } else {
+      hubs_ok = key_hubs_ == hubs && key_targets_.size() == req.settle_targets.size() &&
+                std::equal(key_targets_.begin(), key_targets_.end(), req.settle_targets.begin());
+    }
+  }
+  report.closure_delta_edges = static_cast<int>(deltas_.size());
+
+  row_changes_.clear();
+  added_hubs_.clear();
+  if (structure_same && hubs_ok && deltas_.empty()) {
+    report.closure_cache_hit = true;
+    last_kind_ = core::ClosureUpdate::Kind::kUnchanged;
+    return *sharded_;
+  }
+  report.closure_cache_hit = false;
+
+  const util::Stopwatch watch;
+  g.ensure_csr();
+
+  const bool repairable = structure_same && req.incremental && !req.bounded &&
+                          deltas_.size() * 4 <= edges.size();
+  if (repairable) {
+    // retain -> refresh -> extend, every re-exchanged row charged on `bus`
+    // by the ShardedClosure itself.  refresh clears `row_changes_` before
+    // filling it; extend appends, so the combined list is this solve's
+    // pricing-invalidation feed.
+    sharded_->retain(hubs);
+    if (!deltas_.empty()) sharded_->refresh(g, deltas_, req.threads, bus, &row_changes_);
+    if (!missing_.empty()) sharded_->extend(g, hubs, req.threads, bus, &row_changes_);
+    added_hubs_ = missing_;
+    last_kind_ = core::ClosureUpdate::Kind::kRepaired;
+    report.closure_repaired = true;
+    report.closure_hubs_added = static_cast<int>(missing_.size());
+    for (const graph::EdgeCostDelta& d : deltas_) {
+      key_edges_[static_cast<std::size_t>(d.edge)].cost = d.new_cost;
+    }
+    key_hubs_ = hubs;
+  } else {
+    // Cold rebuild: the coordinator re-partitions and ships each peer its
+    // assignment (one protocol round), then the sharded build runs its
+    // charged border/hub row exchange.
+    dist::Partition part = dist::partition_bfs(g, controllers);
+    if (controllers > 1) {
+      bus.broadcast(static_cast<std::size_t>(controllers - 1),
+                    static_cast<std::size_t>(g.node_count()));
+      bus.end_round();
+    }
+    if (sharded_ == nullptr) sharded_ = std::make_unique<dist::ShardedClosure>();
+    sharded_->build(g, std::move(part), hubs, req.settle_targets, req.threads, bus, req.bounded);
+    last_kind_ = core::ClosureUpdate::Kind::kRebuilt;
+    key_nodes_ = g.node_count();
+    key_edges_.assign(edges.begin(), edges.end());
+    key_hubs_ = hubs;
+    key_targets_.assign(req.settle_targets.begin(), req.settle_targets.end());
+    sharded_k_ = controllers;
+    sharded_valid_ = true;
+    valid_ = false;  // the key storage no longer describes the plain cache
+  }
+  report.closure_seconds = watch.seconds();
+  return *sharded_;
 }
 
 ClosureEpoch ClosureSession::publish(const graph::Graph& g, const std::vector<NodeId>& hubs,

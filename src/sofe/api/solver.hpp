@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -30,6 +31,11 @@
 #include "sofe/exact/solver.hpp"
 #include "sofe/graph/metric_closure.hpp"
 #include "sofe/graph/shortest_path_engine.hpp"
+
+namespace sofe::dist {
+class MessageBus;
+class ShardedClosure;
+}  // namespace sofe::dist
 
 namespace sofe::api {
 
@@ -111,6 +117,7 @@ struct SolveReport {
   int controllers = 0;         // dist/*: k actually used
   std::size_t messages = 0;    //   directed controller-to-controller messages
   std::size_t payload_items = 0;
+  std::size_t payload_bytes = 0;  // honest wire size of those items
   int rounds = 0;
 
   bool optimal = false;        // exact: optimum proven within limits
@@ -188,11 +195,33 @@ struct ClosureEpoch {
 /// only ever hit or rebuild.
 class ClosureSession {
  public:
+  ClosureSession();   // out of line: ShardedClosure is incomplete here
+  ~ClosureSession();
+
   /// Updates report.closure_cache_hit/_repaired/_hubs/_delta_edges/
   /// _hubs_added and report.closure_seconds, and records the outcome for
   /// last_update().
   const graph::MetricClosure& acquire(const graph::Graph& g, const std::vector<NodeId>& hubs,
                                       const ClosureRequest& req, SolveReport& report);
+
+  /// The sharded-mode acquire (DESIGN.md §11): the cached object is a
+  /// dist::ShardedClosure over `controllers` domains, and every exchange a
+  /// cold build or an incremental repair performs is charged on `bus` — the
+  /// partition broadcast of a rebuild, the row exchange of the build, the
+  /// dirtied-row re-exchange of a refresh, the new-row shipping of an
+  /// extend.  Outcomes mirror acquire(): hit (same structure/costs/k, hubs
+  /// present — nothing charged), repair (retain + refresh + extend on the
+  /// sharded closure; incremental unbounded sessions only), rebuild
+  /// (re-partition + full sharded build).  `req.settle_targets` names the
+  /// problem's destinations — the sharded closure's advertisement targets,
+  /// bounded or not.  Results are bit-identical to a fresh global closure
+  /// at every k and thread count (tested), so sharing one session between
+  /// plain and sharded acquires is safe; the two modes merely invalidate
+  /// each other's cache.
+  const dist::ShardedClosure& acquire_sharded(const graph::Graph& g,
+                                              const std::vector<NodeId>& hubs, int controllers,
+                                              const ClosureRequest& req, dist::MessageBus& bus,
+                                              SolveReport& report);
 
   /// What the most recent acquire did to the cached closure, in the shape
   /// core::PricingSession consumes (DESIGN.md §9): hit -> unchanged,
@@ -211,6 +240,7 @@ class ClosureSession {
   void invalidate() {
     assert(!published_ && "retire() the epoch before invalidating the session");
     valid_ = false;
+    sharded_valid_ = false;
   }
 
   /// Publishes the session closure as a read-only epoch (DESIGN.md §10):
@@ -234,7 +264,10 @@ class ClosureSession {
  private:
   graph::MetricClosure closure_;
   graph::ShortestPathEngine engine_;
+  std::unique_ptr<dist::ShardedClosure> sharded_;  // sharded-mode cache (lazy)
   bool valid_ = false;
+  bool sharded_valid_ = false;
+  int sharded_k_ = 0;               // controller count the sharded cache was built for
   bool published_ = false;          // epoch handle outstanding (publish/retire)
   std::uint64_t generation_ = 0;    // epochs published by this session
   NodeId key_nodes_ = 0;

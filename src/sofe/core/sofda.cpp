@@ -133,6 +133,12 @@ std::vector<PricedChain> price_candidate_chains(const Problem& p,
   return candidates;
 }
 
+void merge_priced_chains(std::vector<PricedChain>& chains) {
+  std::sort(chains.begin(), chains.end(), [](const PricedChain& a, const PricedChain& b) {
+    return a.source != b.source ? a.source < b.source : a.last_vm < b.last_vm;
+  });
+}
+
 ServiceForest sofda(const Problem& p, const AlgoOptions& opt, SofdaStats* stats,
                     PricingSession* pricing) {
   assert(p.well_formed());

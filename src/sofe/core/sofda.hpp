@@ -81,6 +81,15 @@ std::vector<PricedChain> price_candidate_chains(const Problem& p,
                                                 const ClosureUpdate* update = nullptr,
                                                 PricingTally* tally = nullptr);
 
+/// Coordinator-side merge of per-controller pricing outputs: restores the
+/// canonical (source, last_vm) order a single price_candidate_chains call
+/// over the union of the source sets emits.  Because each per-controller
+/// call already emits canonically and the controllers' source sets are
+/// disjoint, merging then feeding sofda_from_candidates reproduces the
+/// centralized run bit for bit — the distributed driver's certificate
+/// argument rests on this.
+void merge_priced_chains(std::vector<PricedChain>& chains);
+
 /// Steps 2-5 of SOFDA (auxiliary graph, Steiner tree, deployment, walks)
 /// given already-priced candidates in canonical (source, last_vm) order.
 /// `closure` must hold trees for every candidate's last VM (used by the

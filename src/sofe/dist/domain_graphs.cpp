@@ -1,0 +1,37 @@
+#include "sofe/dist/domain_graphs.hpp"
+
+#include <cassert>
+
+namespace sofe::dist {
+
+DomainGraphs::DomainGraphs(const Graph& g, const Partition& part) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const int k = part.num_domains;
+  assert(part.domain_of.size() == n);
+
+  local_index.assign(n, -1);
+  for (const auto& mem : part.members) {
+    for (std::size_t i = 0; i < mem.size(); ++i) {
+      local_index[static_cast<std::size_t>(mem[i])] = static_cast<int>(i);
+    }
+  }
+
+  domains.resize(static_cast<std::size_t>(k));
+  for (int d = 0; d < k; ++d) {
+    domains[static_cast<std::size_t>(d)].subgraph =
+        Graph(static_cast<NodeId>(part.members[static_cast<std::size_t>(d)].size()));
+  }
+  edge_local.assign(static_cast<std::size_t>(g.edge_count()), graph::kInvalidEdge);
+  const auto& edges = g.edges();
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    const auto& e = edges[ei];
+    const int du = part.domain_of[static_cast<std::size_t>(e.u)];
+    if (du != part.domain_of[static_cast<std::size_t>(e.v)]) continue;
+    auto& dom = domains[static_cast<std::size_t>(du)];
+    edge_local[ei] = dom.subgraph.add_edge(static_cast<NodeId>(local(e.u)),
+                                           static_cast<NodeId>(local(e.v)), e.cost);
+    dom.edge_global.push_back(static_cast<EdgeId>(ei));
+  }
+}
+
+}  // namespace sofe::dist

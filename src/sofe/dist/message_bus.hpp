@@ -10,26 +10,36 @@
 //
 // A *message* is one directed controller-to-controller transmission.  Its
 // *payload* is counted in items (matrix entries, candidate chains, walk
-// segments — whatever the phase ships).  A *round* is one bulk-synchronous
-// step: all messages of a phase are in flight together and the phase ends
-// with `end_round()`.
+// segments — whatever the phase ships) and, separately, in bytes.  Most
+// payloads are Cost entries, so the byte charge defaults to
+// `payload * sizeof(graph::Cost)`; phases shipping anything else (edge ids plus
+// costs, say) pass their true wire size explicitly so the bench ledger can
+// report bytes/round honestly.  A *round* is one bulk-synchronous step: all
+// messages of a phase are in flight together and the phase ends with
+// `end_round()`.
 
 #include <cstddef>
+
+#include "sofe/graph/graph.hpp"
 
 namespace sofe::dist {
 
 class MessageBus {
  public:
-  /// One directed message carrying `payload` items.
-  void send(std::size_t payload = 1) {
+  /// One directed message carrying `payload` items.  `bytes` is the wire
+  /// size of those items; it defaults to one Cost per item.
+  void send(std::size_t payload = 1, std::size_t bytes = kCostBytes) {
     ++messages_;
     payload_ += payload;
+    bytes_ += bytes == kCostBytes ? payload * sizeof(graph::Cost) : bytes;
   }
 
   /// One controller sending the same `payload` to `peers` peers.
-  void broadcast(std::size_t peers, std::size_t payload = 1) {
+  void broadcast(std::size_t peers, std::size_t payload = 1,
+                 std::size_t bytes = kCostBytes) {
     messages_ += peers;
     payload_ += peers * payload;
+    bytes_ += peers * (bytes == kCostBytes ? payload * sizeof(graph::Cost) : bytes);
   }
 
   /// Closes the current bulk-synchronous round.
@@ -37,11 +47,17 @@ class MessageBus {
 
   std::size_t messages() const noexcept { return messages_; }
   std::size_t payload_items() const noexcept { return payload_; }
+  std::size_t payload_bytes() const noexcept { return bytes_; }
   int rounds() const noexcept { return rounds_; }
 
  private:
+  // Sentinel meaning "default: payload Cost entries".  Any real payload is
+  // far below SIZE_MAX, so the sentinel cannot collide with an honest size.
+  static constexpr std::size_t kCostBytes = static_cast<std::size_t>(-1);
+
   std::size_t messages_ = 0;
   std::size_t payload_ = 0;
+  std::size_t bytes_ = 0;
   int rounds_ = 0;
 };
 

@@ -26,17 +26,10 @@ struct QArc {
 }  // namespace
 
 DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus& bus)
-    : g_(&g), part_(&part), bus_(&bus) {
+    : g_(&g), part_(&part), bus_(&bus), dg_(g, part) {
   const auto n = static_cast<std::size_t>(g.node_count());
   const int k = part.num_domains;
   assert(static_cast<std::size_t>(part.domain_of.size()) == n);
-
-  local_index_.assign(n, -1);
-  for (const auto& mem : part.members) {
-    for (std::size_t i = 0; i < mem.size(); ++i) {
-      local_index_[static_cast<std::size_t>(mem[i])] = static_cast<int>(i);
-    }
-  }
 
   overlay_index_.assign(n, -1);
   border_pos_.assign(n, -1);
@@ -50,30 +43,16 @@ DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus
     }
   }
 
-  // Materialize each controller's domain as an induced subgraph over local
-  // member indices: one pass over the global edge list, intra-domain edges
-  // only.  The subgraphs own their CSR caches, so every border/attachment
-  // Dijkstra below streams flat per-domain adjacency.
-  domains_.resize(static_cast<std::size_t>(k));
+  // The per-domain induced subgraphs come from the shared DomainGraphs view
+  // (dg_, built in the initializer list).  Each controller runs Dijkstra
+  // from its border nodes over its own domain.
+  border_trees_.resize(static_cast<std::size_t>(k));
   for (int d = 0; d < k; ++d) {
-    domains_[static_cast<std::size_t>(d)].subgraph =
-        Graph(static_cast<NodeId>(part.members[static_cast<std::size_t>(d)].size()));
-  }
-  for (const auto& e : g.edges()) {
-    const int du = part.domain_of[static_cast<std::size_t>(e.u)];
-    if (du == part.domain_of[static_cast<std::size_t>(e.v)]) {
-      domains_[static_cast<std::size_t>(du)].subgraph.add_edge(
-          static_cast<NodeId>(local_index(e.u)), static_cast<NodeId>(local_index(e.v)), e.cost);
-    }
-  }
-
-  // Each controller runs Dijkstra from its border nodes over its own domain.
-  for (int d = 0; d < k; ++d) {
-    auto& dd = domains_[static_cast<std::size_t>(d)];
     const auto& borders = part.borders[static_cast<std::size_t>(d)];
-    dd.border_trees.resize(borders.size());
+    auto& trees = border_trees_[static_cast<std::size_t>(d)];
+    trees.resize(borders.size());
     for (std::size_t bi = 0; bi < borders.size(); ++bi) {
-      local_tree(borders[bi], dd.border_trees[bi]);
+      local_tree(borders[bi], trees[bi]);
     }
   }
 
@@ -87,8 +66,7 @@ DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus
       const NodeId b1 = borders[bi];
       for (NodeId b2 : borders) {
         if (b2 == b1) continue;
-        const Cost w = domains_[static_cast<std::size_t>(d)]
-                           .border_trees[bi]
+        const Cost w = border_trees_[static_cast<std::size_t>(d)][bi]
                            .dist[static_cast<std::size_t>(local_index(b2))];
         if (w < graph::kInfiniteCost) {
           overlay_adj_[static_cast<std::size_t>(overlay_index_[static_cast<std::size_t>(b1)])]
@@ -124,14 +102,14 @@ DistanceOracle::DistanceOracle(const Graph& g, const Partition& part, MessageBus
 
 void DistanceOracle::local_tree(NodeId start, graph::ShortestPathTree& out) const {
   const int d = part_->domain(start);
-  engine_.attach(domains_[static_cast<std::size_t>(d)].subgraph);
+  engine_.attach(dg_.domains[static_cast<std::size_t>(d)].subgraph);
   engine_.run_into(static_cast<NodeId>(local_index(start)), out);
 }
 
 const graph::ShortestPathTree& DistanceOracle::attachment_tree(NodeId v) const {
   if (const int bp = border_pos_[static_cast<std::size_t>(v)]; bp >= 0) {
-    return domains_[static_cast<std::size_t>(part_->domain(v))]
-        .border_trees[static_cast<std::size_t>(bp)];
+    return border_trees_[static_cast<std::size_t>(part_->domain(v))]
+                        [static_cast<std::size_t>(bp)];
   }
   auto it = attach_cache_.find(v);
   if (it == attach_cache_.end()) {
@@ -274,8 +252,8 @@ DistanceOracle::QueryResult DistanceOracle::query(NodeId x, NodeId y, bool want_
         seg = {oa.tail, oa.head};
       } else {
         // Intra-domain border-to-border segment from the advertised tree.
-        seg = chain(oa.head, domains_[static_cast<std::size_t>(oa.domain)]
-                                 .border_trees[static_cast<std::size_t>(oa.src_border)]);
+        seg = chain(oa.head, border_trees_[static_cast<std::size_t>(oa.domain)]
+                                          [static_cast<std::size_t>(oa.src_border)]);
         std::reverse(seg.begin(), seg.end());
       }
     }

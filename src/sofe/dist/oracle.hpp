@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sofe/dist/domain_graphs.hpp"
 #include "sofe/dist/message_bus.hpp"
 #include "sofe/dist/partition.hpp"
 #include "sofe/graph/graph.hpp"
@@ -65,16 +66,6 @@ class DistanceOracle {
     NodeId tail, head;
   };
 
-  struct DomainData {
-    // The domain's induced subgraph over local member indices (the graph a
-    // controller actually owns); arc costs copied from the global graph.
-    Graph subgraph;
-    // Per border node (indexed as in part.borders[d]): the shortest-path
-    // tree from that border over `subgraph`.  dist/parent are indexed by
-    // local member index and parents are local indices too.
-    std::vector<graph::ShortestPathTree> border_trees;
-  };
-
   /// Engine-backed Dijkstra from `start` over its domain's subgraph,
   /// written into `out` (local indices throughout).
   void local_tree(NodeId start, graph::ShortestPathTree& out) const;
@@ -91,18 +82,23 @@ class DistanceOracle {
   /// lifetime).  Not thread-safe, like the query path's bus accounting.
   const graph::ShortestPathTree& attachment_tree(NodeId v) const;
 
-  int local_index(NodeId v) const { return local_index_[static_cast<std::size_t>(v)]; }
+  int local_index(NodeId v) const { return dg_.local(v); }
 
   const Graph* g_;
   const Partition* part_;
   MessageBus* bus_;
 
-  std::vector<int> local_index_;       // node -> index within its domain's members
+  // Per-domain induced subgraphs with both-way edge maps, shared structure
+  // with the sharded closure (see domain_graphs.hpp).
+  DomainGraphs dg_;
+  // Per domain, per border node (indexed as in part.borders[d]): the
+  // shortest-path tree from that border over the domain subgraph.
+  // dist/parent are indexed by local member index, parents local too.
+  std::vector<std::vector<graph::ShortestPathTree>> border_trees_;
   std::vector<int> overlay_index_;     // node -> overlay index (-1 if not a border)
   std::vector<int> border_pos_;        // node -> index within its domain's borders (-1)
   std::vector<NodeId> overlay_nodes_;  // overlay index -> node
   std::vector<std::vector<OverlayArc>> overlay_adj_;
-  std::vector<DomainData> domains_;
   // Shared across all per-domain runs (construction and queries): rebound to
   // the relevant domain subgraph per call, workspaces reused throughout.
   mutable graph::ShortestPathEngine engine_;

@@ -129,6 +129,54 @@ TEST(Registry, DistNamesAreParameterized) {
   EXPECT_EQ(make_solver("dist/k=17")->name(), "dist/k=17");
 }
 
+TEST(Registry, MalformedDistParameterThrowsNamingTheField) {
+  // A request that names the dist family but botches the controller count
+  // is a malformed argument, not an unknown solver: create() must reject
+  // it with a message naming the field instead of clamping or listing the
+  // registry.  contains() stays lenient (above) — it answers "could this
+  // name resolve", never validates.
+  for (const char* name : {"dist/k=0", "dist/k=-3", "dist/k=", "dist/k=2x", "dist/k= 4"}) {
+    try {
+      (void)make_solver(name);
+      FAIL() << name << " should have thrown";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("dist/k"), std::string::npos)
+          << name << ": message must name the field, got \"" << e.what() << "\"";
+    }
+  }
+  EXPECT_NO_THROW((void)make_solver("dist/k=3"));
+}
+
+TEST(Registry, DistSessionRepairsShardedClosureAcrossSolves) {
+  const auto topo = topology::softlayer();
+  topology::ProblemConfig cfg;
+  cfg.seed = 11;
+  auto p = topology::make_problem(topo, cfg);
+  auto solver = make_solver("dist/k=3");
+
+  const auto f_cold = solver->solve(p);
+  EXPECT_FALSE(solver->report().closure_cache_hit);
+  EXPECT_GT(solver->report().payload_bytes, 0u);
+  const std::size_t bytes_cold = solver->report().payload_bytes;
+  EXPECT_TRUE(forests_equal(f_cold, dist::distributed_sofda(p, 3).forest));
+
+  // Unchanged problem: the sharded closure hits, so neither the partition
+  // broadcast nor the row exchange is re-charged — only rounds 3-6 fly.
+  const auto f_hit = solver->solve(p);
+  EXPECT_TRUE(solver->report().closure_cache_hit);
+  EXPECT_LT(solver->report().payload_bytes, bytes_cold);
+  EXPECT_TRUE(forests_equal(f_hit, f_cold));
+
+  // One link price moves: the session repairs the shards (re-exchanging
+  // only dirtied rows) and stays bit-identical to the free function.
+  p.network.set_edge_cost(0, p.network.edge(0).cost * 2.0);
+  const auto f_rep = solver->solve(p);
+  EXPECT_TRUE(solver->report().closure_repaired);
+  EXPECT_EQ(solver->report().closure_delta_edges, 1);
+  EXPECT_LT(solver->report().payload_bytes, bytes_cold);
+  EXPECT_TRUE(forests_equal(f_rep, dist::distributed_sofda(p, 3).forest));
+}
+
 TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW((void)make_solver("no-such-solver"), std::invalid_argument);
   EXPECT_FALSE(SolverRegistry::global().contains("no-such-solver"));
