@@ -58,6 +58,15 @@ struct Pipeline::Impl {
     if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
     workers = std::max(workers, 1);
     lookahead = std::max(popt.lookahead_epochs, 0);
+    if (stream.has_failures()) {
+      // Recovery escalation gets its own session of the same family.  It
+      // runs on the commit thread inside open_epoch — all workers parked —
+      // and sessions are pure speed knobs, so a dedicated instance returns
+      // bitwise what the sequential driver's shared embedder returns.
+      recovery_solver = api::make_solver(this->solver_name, opt);
+      stream.set_recovery_embedder(
+          [this](const core::Problem& p) { return recovery_solver->solve(p); });
+    }
   }
 
   // --- construction-time (immutable during run) ---
@@ -67,6 +76,7 @@ struct Pipeline::Impl {
   int workers = 1;
   int lookahead = 1;
   api::ReportAccumulator* sink = nullptr;
+  std::unique_ptr<api::Solver> recovery_solver;  // failure drills only
   bool ran = false;
 
   // --- shared state, guarded by mu ---
@@ -364,6 +374,7 @@ OnlineResult Pipeline::Impl::run() {
   result.overloaded_links = stream.overloaded_links();
   result.stale_repriced = stale_repriced;
   result.speculative_commits = speculative_commits;
+  result.recoveries = stream.recoveries();
   return result;
 }
 

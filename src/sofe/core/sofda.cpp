@@ -61,6 +61,7 @@ ServiceForest multicast_only(const Problem& p, const AlgoOptions& opt) {
 
   ServiceForest f;
   for (NodeId d : p.destinations) {
+    if (!rt.in_tree[static_cast<std::size_t>(d)]) return {};  // unreachable destination
     std::vector<NodeId> rev;
     for (NodeId v = d; v != vroot; v = rt.parent[static_cast<std::size_t>(v)]) {
       assert(v != graph::kInvalidNode);

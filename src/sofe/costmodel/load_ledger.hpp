@@ -32,19 +32,30 @@ class LoadLedger {
   }
   void add_host_load(std::size_t host, double vnfs) { host_load_[host] += vnfs; }
 
-  /// Departure bookkeeping (the online simulator's cost-restore path): a
-  /// request that leaves returns exactly the bandwidth/VNF slots it was
-  /// charged, so the next price refresh emits downward cost deltas.
-  /// Removing more than was added is a caller bug (asserted, clamped).
-  void remove_link_load(EdgeId e, double mbps) {
+  /// Departure bookkeeping (the online simulator's cost-restore path, and
+  /// the recovery engine's release-then-recharge sequence): a request that
+  /// leaves returns exactly the bandwidth/VNF slots it was charged, so the
+  /// next price refresh emits downward cost deltas.  Removing more than was
+  /// added — a double release — is a caller bug: asserted in debug builds,
+  /// clamped at zero in release builds so one bad release can never drive a
+  /// load negative and poison every price derived from it.  Returns the
+  /// amount actually removed, so release-build callers can detect the
+  /// shortfall (`removed < requested`) that the debug assert would trip.
+  double remove_link_load(EdgeId e, double mbps) {
+    assert(mbps >= 0.0 && "link-load release must be nonnegative");
     auto& load = link_load_[static_cast<std::size_t>(e)];
     assert(load + 1e-9 >= mbps && "removing more link load than was charged");
-    load = std::max(0.0, load - mbps);
+    const double removed = std::min(load, std::max(0.0, mbps));
+    load -= removed;
+    return removed;
   }
-  void remove_host_load(std::size_t host, double vnfs) {
+  double remove_host_load(std::size_t host, double vnfs) {
+    assert(vnfs >= 0.0 && "host-load release must be nonnegative");
     auto& load = host_load_[host];
     assert(load + 1e-9 >= vnfs && "removing more host load than was charged");
-    load = std::max(0.0, load - vnfs);
+    const double removed = std::min(load, std::max(0.0, vnfs));
+    load -= removed;
+    return removed;
   }
 
   double link_load(EdgeId e) const { return link_load_[static_cast<std::size_t>(e)]; }

@@ -16,6 +16,17 @@ OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
   // (DESIGN.md §10).
   ArrivalStream stream(topo, cfg);
 
+  // Failure drill: recovery escalates to the embedder under test, through
+  // the same copy_problems gate as admissions so the differential reference
+  // run exercises the identical code path.
+  if (stream.has_failures()) {
+    stream.set_recovery_embedder([&](const Problem& p) -> ServiceForest {
+      if (!cfg.copy_problems) return embed(p);
+      const Problem copy = p;
+      return embed(copy);
+    });
+  }
+
   OnlineResult result;
   result.algorithm = algo_name;
   result.epoch_size = cfg.epoch_size;
@@ -46,6 +57,7 @@ OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
     first += count;
   }
   result.overloaded_links = stream.overloaded_links();
+  result.recoveries = stream.recoveries();
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "sofe/core/forest.hpp"
 #include "sofe/costmodel/load_ledger.hpp"
+#include "sofe/resilience/failure_plan.hpp"
 #include "sofe/topology/topology.hpp"
 #include "sofe/util/rng.hpp"
 
@@ -64,6 +65,16 @@ struct OnlineConfig {
   /// driver at epoch_size S is the determinism reference the pipeline must
   /// match at every worker count.
   int epoch_size = 1;
+  /// Optional failure drill (DESIGN.md §12): scripted link/node/DC failures
+  /// and heals, realized as +inf / cost-restore delta batches at epoch
+  /// opens, with budget-bounded recovery of every embedding a failure
+  /// breaks.  Non-owning — the plan must outlive the run; nullptr (the
+  /// default) streams without a drill.  Both drivers validate the plan at
+  /// construction (resilience::validate throws std::invalid_argument).
+  const resilience::FailurePlan* failures = nullptr;
+  /// Migration budget the recovery engine works under (ignored when
+  /// `failures` is null).  See resilience::RecoveryBudget.
+  resilience::RecoveryBudget recovery;
 };
 
 struct OnlineResult {
@@ -83,6 +94,11 @@ struct OnlineResult {
   int stale_repriced = 0;       // speculative results discarded and re-solved
   int speculative_commits = 0;  // speculative results that validated as fresh
   double publish_seconds = 0.0; // commit-thread wall spent publishing epochs
+  /// Failure drill only: one entry per (failure epoch, affected request),
+  /// in recovery order.  RecoveryReport::seconds is wall time (excluded
+  /// from determinism comparisons, like arrival_seconds); every other
+  /// field is deterministic in (topology, config, plan, budget).
+  std::vector<resilience::RecoveryReport> recoveries;
 };
 
 /// Runs the request sequence against one algorithm.  The identical sequence

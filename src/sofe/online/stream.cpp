@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "sofe/util/stopwatch.hpp"
 
 namespace sofe::online {
 
@@ -41,6 +44,10 @@ void validate(const OnlineConfig& cfg) {
   }
   if (cfg.epoch_size < 1) {
     fail("epoch_size must be >= 1 (got " + std::to_string(cfg.epoch_size) + ")");
+  }
+  if (cfg.recovery.migration_cost_weight < 0.0) {
+    fail("recovery.migration_cost_weight must be >= 0 (got " +
+         std::to_string(cfg.recovery.migration_cost_weight) + ")");
   }
 }
 
@@ -98,6 +105,27 @@ ArrivalStream::ArrivalStream(const topology::Topology& topo, const OnlineConfig&
   }
 
   charges_.resize(static_cast<std::size_t>(cfg.requests));
+
+  // Compile the failure drill (DESIGN.md §12) into a time-sorted toggle
+  // schedule.  Both drivers construct an ArrivalStream, so a degenerate
+  // plan throws from online::simulate and online::Pipeline alike.
+  if (cfg.failures != nullptr) {
+    resilience::validate(*cfg.failures, topo);
+    has_failures_ = !cfg.failures->empty();
+    for (const resilience::FailureEvent& ev : cfg.failures->events) {
+      std::vector<EdgeId> edges = resilience::affected_links(ev, topo);
+      toggles_.push_back({ev.fail_at, true, edges});
+      if (ev.heal_at >= 0) toggles_.push_back({ev.heal_at, false, std::move(edges)});
+    }
+    // Stable: simultaneous toggles fire in plan order, so "A fails, B
+    // heals at the same arrival" is well defined (and per-link counts
+    // make the outcome order-independent anyway).
+    std::stable_sort(toggles_.begin(), toggles_.end(),
+                     [](const Toggle& a, const Toggle& b) { return a.at < b.at; });
+    fail_count_.assign(static_cast<std::size_t>(n_physical_), 0);
+    admitted_.resize(static_cast<std::size_t>(cfg.requests));
+  }
+  track_charges_ = cfg.holding_arrivals > 0 || has_failures_;
 }
 
 void ArrivalStream::release(int admitted_slot) {
@@ -105,6 +133,7 @@ void ArrivalStream::release(int admitted_slot) {
   for (EdgeId e : old.links) ledger_.remove_link_load(e, cfg_.demand_mbps);
   for (std::size_t h : old.hosts) ledger_.remove_host_load(h, 1.0);
   old = Charges{};
+  if (has_failures_) admitted_[static_cast<std::size_t>(admitted_slot)] = core::ServiceForest{};
 }
 
 int ArrivalStream::open_epoch(int first, std::vector<graph::EdgeCostDelta>* moved,
@@ -127,13 +156,38 @@ int ArrivalStream::open_epoch(int first, std::vector<graph::EdgeCostDelta>* move
     }
   }
 
+  // Failure toggles due in this epoch fire now, BEFORE the refresh, so the
+  // single price pass below realizes them as ordinary cost deltas: a
+  // failing link refreshes to kInfiniteCost, a healing one back to its
+  // ledger price.  Per-link fail counts make overlapping events compose; a
+  // link is "newly failed" only on its 0 -> 1 transition — the trigger for
+  // the recovery pass after the refresh.
+  std::vector<EdgeId> newly_failed;
+  while (next_toggle_ < toggles_.size() && toggles_[next_toggle_].at < first + count) {
+    const Toggle& t = toggles_[next_toggle_++];
+    for (const EdgeId e : t.edges) {
+      int& fails = fail_count_[static_cast<std::size_t>(e)];
+      if (t.fail) {
+        if (fails++ == 0) newly_failed.push_back(e);
+      } else {
+        assert(fails > 0 && "heal toggle without its matching failure");
+        --fails;
+      }
+    }
+  }
+  std::sort(newly_failed.begin(), newly_failed.end());
+  newly_failed.erase(std::unique(newly_failed.begin(), newly_failed.end()),
+                     newly_failed.end());
+
   // One price refresh for the whole epoch, writing only real changes (an
   // untouched link keeps its cost, its CSR entry and its place outside the
   // delta batch).
   if (moved != nullptr) moved->clear();
   bool node_moved = false;
   for (EdgeId e = 0; e < n_physical_; ++e) {
-    const Cost price = ledger_.link_price(e, cfg_.demand_mbps);
+    const Cost price = (has_failures_ && fail_count_[static_cast<std::size_t>(e)] > 0)
+                           ? graph::kInfiniteCost
+                           : ledger_.link_price(e, cfg_.demand_mbps);
     const Cost old = master_.network.edge(e).cost;
     if (old != price) {
       master_.network.set_edge_cost(e, price);
@@ -149,7 +203,51 @@ int ArrivalStream::open_epoch(int first, std::vector<graph::EdgeCostDelta>* move
     }
   }
   if (node_costs_moved != nullptr) *node_costs_moved = node_moved;
+
+  // Recover every live embedding the failure batch broke, still inside the
+  // epoch open — in the pipeline this runs on the commit thread while all
+  // workers are parked, so the drill is deterministic at any worker count.
+  if (!newly_failed.empty()) recover_affected(newly_failed);
   return count;
+}
+
+void ArrivalStream::recover_affected(const std::vector<EdgeId>& newly_failed) {
+  assert(recovery_embed_ && "set_recovery_embedder before the first epoch of a drill");
+  const auto hits = [&](const Charges& c) {
+    for (const EdgeId e : c.links) {
+      if (std::binary_search(newly_failed.begin(), newly_failed.end(), e)) return true;
+    }
+    return false;
+  };
+  // Ascending slot order; the master's prices are frozen at the snapshot
+  // just refreshed, and recover_request reads prices only from the master
+  // (never the ledger), so the release/recharge sequence below cannot feed
+  // back into this epoch — only into the NEXT refresh, which sees the net
+  // post-recovery loads.
+  for (int r = 0; r < epoch_first_; ++r) {
+    core::ServiceForest& live = admitted_[static_cast<std::size_t>(r)];
+    if (live.empty() || !hits(charges_[static_cast<std::size_t>(r)])) continue;
+    const util::Stopwatch watch;
+    const core::ServiceForest broken = std::move(live);
+    release(r);  // return the broken embedding's charges; recharge below
+    stage(r);    // master_ now carries this request at the epoch snapshot
+    resilience::RecoveryOutcome out =
+        resilience::recover_request(master_, broken, cfg_.recovery, recovery_embed_);
+    charge(r, out.forest);
+
+    resilience::RecoveryReport rep;
+    rep.epoch_first = epoch_first_;
+    rep.slot = r;
+    rep.rerouted_segments = out.rerouted_segments;
+    rep.moved_users = out.moved_users;
+    rep.dropped_users = out.dropped_users;
+    rep.escalated = out.escalated;
+    rep.repaired_cost = out.repaired_cost;
+    rep.scratch_cost = out.scratch_cost;
+    rep.chosen_cost = out.chosen_cost;
+    rep.seconds = watch.seconds();
+    recoveries_.push_back(rep);
+  }
 }
 
 const core::Problem& ArrivalStream::stage(int r) {
@@ -170,17 +268,22 @@ core::Cost ArrivalStream::commit(int r, const core::ServiceForest& forest) {
 
   if (forest.empty()) return 0.0;
   const Cost cost = core::total_cost(master_, forest);
+  charge(r, forest);
+  return cost;
+}
 
+void ArrivalStream::charge(int r, const core::ServiceForest& forest) {
   // Charge the ledger: one stream copy per distinct (stage, link) use, one
-  // VNF slot per enabled VM.  total_cost above reads only network costs
-  // and node_cost — never the ledger — so the epoch snapshot stays frozen
-  // while its arrivals commit.
+  // VNF slot per enabled VM.  Commit-path callers computed total_cost
+  // first, and it reads only network costs and node_cost — never the
+  // ledger — so the epoch snapshot stays frozen while its arrivals commit.
+  if (forest.empty()) return;
   Charges& mine = charges_[static_cast<std::size_t>(r)];
   for (const auto& se : forest.stage_edges()) {
     const EdgeId e = master_.network.find_edge(se.u, se.v);
     if (e < n_physical_) {  // physical links only (VM taps are free)
       ledger_.add_link_load(e, cfg_.demand_mbps);
-      if (cfg_.holding_arrivals > 0) mine.links.push_back(e);
+      if (track_charges_) mine.links.push_back(e);
     }
   }
   for (const auto& [vm, idx] : forest.enabled_vms()) {
@@ -188,10 +291,10 @@ core::Cost ArrivalStream::commit(int r, const core::ServiceForest& forest) {
     if (vm >= n_access_) {
       const std::size_t host = vm_host_[static_cast<std::size_t>(vm - n_access_)];
       ledger_.add_host_load(host, 1.0);
-      if (cfg_.holding_arrivals > 0) mine.hosts.push_back(host);
+      if (track_charges_) mine.hosts.push_back(host);
     }
   }
-  return cost;
+  if (has_failures_) admitted_[static_cast<std::size_t>(r)] = forest;
 }
 
 std::size_t ArrivalStream::overloaded_links() const { return ledger_.overloaded_links(); }

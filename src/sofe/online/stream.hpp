@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sofe/online/simulator.hpp"
+#include "sofe/resilience/recovery.hpp"
 
 namespace sofe::online {
 
@@ -44,6 +45,18 @@ void validate(const OnlineConfig& cfg);
 ///                                at r, charges the embedding, returns its
 ///                                cost at the snapshot prices
 /// and repeats until the stream is exhausted.
+///
+/// Failure drills (DESIGN.md §12) ride the same protocol: scripted
+/// FailureEvents compile into a time-sorted toggle schedule at
+/// construction; open_epoch fires every toggle due in the epoch BEFORE the
+/// price refresh, so a failed link simply refreshes to kInfiniteCost and a
+/// healed one back to its ledger price — ordinary entries in the epoch's
+/// EdgeCostDelta batch, which is how the drill reaches solver sessions and
+/// pipeline worker replicas without any extra machinery.  After the
+/// refresh, every live embedding charged across a newly-failed link is
+/// recovered (resilience::recover_request) under the configured budget,
+/// still inside open_epoch — i.e. while the pipeline's workers are parked —
+/// which keeps the drill deterministic at every worker count.
 class ArrivalStream {
  public:
   /// Validates cfg (throws std::invalid_argument), builds the persistent
@@ -90,8 +103,28 @@ class ArrivalStream {
   /// Links loaded beyond capacity right now (the end-of-stream statistic).
   std::size_t overloaded_links() const;
 
+  /// True when the config scripts a failure drill (a non-empty
+  /// OnlineConfig::failures plan survived validation).
+  bool has_failures() const noexcept { return has_failures_; }
+
+  /// Installs the from-scratch re-embedder recovery escalates to.  Must be
+  /// set before the first open_epoch of a drill; each driver installs its
+  /// own (the free-function driver wraps the embedder under test, the
+  /// pipeline a dedicated solver session — interchangeable, because
+  /// sessions are pure speed knobs).
+  void set_recovery_embedder(resilience::EmbedFn embed) {
+    recovery_embed_ = std::move(embed);
+  }
+
+  /// Failure-drill recovery reports, in (epoch, arrival-slot) order.
+  const std::vector<resilience::RecoveryReport>& recoveries() const noexcept {
+    return recoveries_;
+  }
+
  private:
   void release(int admitted_slot);
+  void charge(int r, const core::ServiceForest& forest);
+  void recover_affected(const std::vector<graph::EdgeId>& newly_failed);
 
   OnlineConfig cfg_;
   core::Problem master_;
@@ -103,12 +136,30 @@ class ArrivalStream {
   int epoch_first_ = 0;          // first slot of the open epoch
 
   // Per-request ledger charges, kept so a departure can return exactly
-  // what its admission took.
+  // what its admission took — and, in a drill, so the newly-failed edge
+  // set can be intersected against every live embedding in O(charges).
   struct Charges {
     std::vector<graph::EdgeId> links;  // one entry per charged stream copy
     std::vector<std::size_t> hosts;    // one entry per enabled VNF slot
   };
   std::vector<Charges> charges_;
+  bool track_charges_ = false;  // holding_arrivals > 0 || has_failures_
+
+  // Failure drill (DESIGN.md §12).
+  struct Toggle {
+    int at = 0;        // arrival index the event aligns to
+    bool fail = false; // true = drive edges to +inf, false = heal
+    std::vector<graph::EdgeId> edges;
+  };
+  std::vector<Toggle> toggles_;  // stable-sorted by `at`
+  std::size_t next_toggle_ = 0;
+  std::vector<int> fail_count_;  // per physical link; overlapping plans compose
+  // Live embeddings by slot (drill only; cleared on departure/loss) — the
+  // ledger remembers what a request charged, this remembers its shape.
+  std::vector<core::ServiceForest> admitted_;
+  resilience::EmbedFn recovery_embed_;
+  std::vector<resilience::RecoveryReport> recoveries_;
+  bool has_failures_ = false;
 };
 
 }  // namespace sofe::online

@@ -1,0 +1,83 @@
+#include "sofe/resilience/failure_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sofe::resilience {
+
+namespace {
+
+std::string target_name(FailureEvent::Target t) {
+  switch (t) {
+    case FailureEvent::Target::kLink:
+      return "link";
+    case FailureEvent::Target::kNode:
+      return "node";
+    case FailureEvent::Target::kDataCenter:
+      return "data center";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void validate(const FailurePlan& plan, const topology::Topology& topo) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FailureEvent& ev = plan.events[i];
+    const std::string field = "FailurePlan.events[" + std::to_string(i) + "]";
+    const auto fail = [&](const std::string& member, const std::string& what) {
+      throw std::invalid_argument(field + "." + member + ": " + what);
+    };
+    if (ev.fail_at < 0) {
+      fail("fail_at", "arrival index must be >= 0 (got " + std::to_string(ev.fail_at) + ")");
+    }
+    if (ev.heal_at >= 0 && ev.heal_at <= ev.fail_at) {
+      fail("heal_at", "recovery must come strictly after the failure (heal_at " +
+                          std::to_string(ev.heal_at) + " <= fail_at " +
+                          std::to_string(ev.fail_at) + ")");
+    }
+    switch (ev.target) {
+      case FailureEvent::Target::kLink:
+        if (ev.id < 0 || ev.id >= topo.g.edge_count()) {
+          fail("id", "unknown link " + std::to_string(ev.id) + " (topology \"" + topo.name +
+                         "\" has " + std::to_string(topo.g.edge_count()) + " links)");
+        }
+        break;
+      case FailureEvent::Target::kNode:
+        if (ev.id < 0 || ev.id >= topo.g.node_count()) {
+          fail("id", "unknown node " + std::to_string(ev.id) + " (topology \"" + topo.name +
+                         "\" has " + std::to_string(topo.g.node_count()) + " nodes)");
+        }
+        break;
+      case FailureEvent::Target::kDataCenter:
+        if (ev.id < 0 || static_cast<std::size_t>(ev.id) >= topo.dc_nodes.size()) {
+          fail("id", "unknown data center " + std::to_string(ev.id) + " (topology \"" +
+                         topo.name + "\" has " + std::to_string(topo.dc_nodes.size()) +
+                         " sites)");
+        }
+        break;
+      default:
+        fail("target", "unknown target kind " +
+                           std::to_string(static_cast<int>(ev.target)) + " (" +
+                           target_name(ev.target) + ")");
+    }
+  }
+}
+
+std::vector<EdgeId> affected_links(const FailureEvent& event, const topology::Topology& topo) {
+  std::vector<EdgeId> edges;
+  if (event.target == FailureEvent::Target::kLink) {
+    edges.push_back(event.id);
+    return edges;
+  }
+  const NodeId site = event.target == FailureEvent::Target::kNode
+                          ? event.id
+                          : topo.dc_nodes[static_cast<std::size_t>(event.id)];
+  for (const graph::Arc& a : topo.g.neighbors(site)) edges.push_back(a.edge);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace sofe::resilience

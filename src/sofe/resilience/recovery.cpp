@@ -1,0 +1,129 @@
+#include "sofe/resilience/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+#include "sofe/core/dynamic.hpp"
+
+namespace sofe::resilience {
+
+using core::ChainWalk;
+using core::Problem;
+using core::ServiceForest;
+using graph::kInfiniteCost;
+
+namespace {
+
+/// A walk is broken when some consecutive hop has no finite link left.
+/// find_edge picks the cheapest parallel edge — the same lookup the cost
+/// accounting and the ledger charging use, so "broken" here is exactly
+/// "charged a link that just died".
+bool walk_broken(const Problem& p, const ChainWalk& w) {
+  for (std::size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+    const graph::EdgeId e = p.network.find_edge(w.nodes[i], w.nodes[i + 1]);
+    if (e == graph::kInvalidEdge || p.network.edge(e).cost == kInfiniteCost) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+RecoveryOutcome recover_request(const Problem& staged, const ServiceForest& broken,
+                                const RecoveryBudget& budget, const EmbedFn& scratch,
+                                const core::AlgoOptions& opt) {
+  assert(!broken.empty() && "only admitted (non-empty) embeddings can be recovered");
+  RecoveryOutcome out;
+  const int n_users = static_cast<int>(staged.destinations.size());
+
+  // --- repair + re-home candidate -------------------------------------
+  core::DynamicForest dyn(staged, broken);
+
+  // Dead links the embedding crosses, ascending for a deterministic scan.
+  std::set<graph::EdgeId> crossed;
+  for (const ChainWalk& w : broken.walks) {
+    for (std::size_t i = 0; i + 1 < w.nodes.size(); ++i) {
+      const graph::EdgeId e = staged.network.find_edge(w.nodes[i], w.nodes[i + 1]);
+      if (e != graph::kInvalidEdge && staged.network.edge(e).cost == kInfiniteCost) {
+        crossed.insert(e);
+      }
+    }
+  }
+  for (const graph::EdgeId e : crossed) {
+    // The cost is already kInfiniteCost in the staged snapshot; reroute_link
+    // re-splices every segment still crossing the dead link onto the
+    // cheapest surviving path (and repairs its cached trees in place).
+    out.rerouted_segments += dyn.reroute_link(e, staged.network.edge(e).cost);
+  }
+
+  // Orphans: destinations whose walk has no surviving path at all (their
+  // source site died, or the failure split their component).
+  std::vector<core::NodeId> orphans;
+  for (const ChainWalk& w : dyn.forest().walks) {
+    if (walk_broken(dyn.problem(), w)) orphans.push_back(w.destination);
+  }
+  std::sort(orphans.begin(), orphans.end());
+  orphans.erase(std::unique(orphans.begin(), orphans.end()), orphans.end());
+  for (const core::NodeId d : orphans) dyn.destination_leave(d);
+
+  int rehomed = 0;
+  int dropped = 0;
+  for (const core::NodeId d : orphans) {
+    if (budget.max_moved_users >= 0 && rehomed >= budget.max_moved_users) {
+      ++dropped;  // budget exhausted: repair-only from here on
+      continue;
+    }
+    if (dyn.destination_join(d, opt)) {
+      ++rehomed;
+    } else {
+      ++dropped;  // no feasible attachment survives the failure
+    }
+  }
+  const bool repaired_ok = !dyn.forest().empty();
+  if (repaired_ok) out.repaired_cost = core::total_cost(staged, dyn.forest());
+
+  // --- from-scratch candidate ------------------------------------------
+  // Always computed: the drill's quality-delta report compares against it
+  // even when the budget keeps the repair.
+  ServiceForest rebuilt = scratch(staged);
+  if (!rebuilt.empty()) out.scratch_cost = core::total_cost(staged, rebuilt);
+  const bool scratch_ok =
+      !rebuilt.empty() && (budget.max_moved_users < 0 || n_users <= budget.max_moved_users);
+
+  // --- choice ----------------------------------------------------------
+  if (budget.max_moved_users < 0) {
+    // Unbounded: migration is free, adopt the global re-optimization
+    // whenever it exists (this is what makes the unbounded drill bitwise
+    // the from-scratch reference).  Connectivity can still force the
+    // partial repair: a re-embed that cannot reach every user is
+    // infeasible, the repair serves the survivors.
+    out.escalated = scratch_ok;
+  } else {
+    const int served_repaired = repaired_ok ? n_users - dropped : 0;
+    const int served_scratch = n_users;
+    const Cost obj_repaired =
+        repaired_ok ? out.repaired_cost + budget.migration_cost_weight * rehomed : kInfiniteCost;
+    const Cost obj_scratch = out.scratch_cost + budget.migration_cost_weight * n_users;
+    // Serve more users first; then the migration-weighted objective; ties
+    // keep the repair (fewer moved users).
+    out.escalated = scratch_ok && (served_scratch > served_repaired ||
+                                   (served_scratch == served_repaired &&
+                                    obj_scratch < obj_repaired));
+  }
+
+  if (out.escalated) {
+    out.forest = std::move(rebuilt);
+    out.moved_users = n_users;
+    out.dropped_users = 0;
+    out.chosen_cost = out.scratch_cost;
+  } else {
+    out.forest = dyn.forest();
+    out.moved_users = rehomed;
+    out.dropped_users = dropped;  // == n_users when the whole forest was lost
+    out.chosen_cost = out.repaired_cost;
+  }
+  return out;
+}
+
+}  // namespace sofe::resilience

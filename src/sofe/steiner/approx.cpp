@@ -74,8 +74,7 @@ SteinerTree kmb(const Graph& g, const std::vector<NodeId>& terminals) {
     for (std::size_t i = 0; i < t; ++i) {
       if (!in_tree[i] && (pick == t || best[i] < best[pick])) pick = i;
     }
-    assert(pick < t && best[pick] < graph::kInfiniteCost &&
-           "terminals must be connected in the host graph");
+    if (pick == t || best[pick] >= graph::kInfiniteCost) break;  // rest unreachable
     in_tree[pick] = true;
     // 3. Expand the closure edge into its underlying shortest path.
     if (round > 0) {
@@ -125,6 +124,10 @@ SteinerTree mehlhorn(const Graph& g, const std::vector<NodeId>& terminals) {
     if (su == sv || su == graph::kInvalidNode || sv == graph::kInvalidNode) continue;
     const Cost c = vor.dist[static_cast<std::size_t>(ed.u)] + ed.cost +
                    vor.dist[static_cast<std::size_t>(ed.v)];
+    // An infinite bridge (soft-disconnected link, or a cell only reachable
+    // at infinite distance) connects nothing: inserting it would leave a
+    // kInvalidEdge placeholder for Kruskal to dereference.
+    if (c >= graph::kInfiniteCost) continue;
     auto& b = bridges[Graph::edge_key(su, sv)];
     if (c < b.cost) b = Bridge{c, e};
   }
@@ -154,8 +157,10 @@ SteinerTree mehlhorn(const Graph& g, const std::vector<NodeId>& terminals) {
       add_voronoi_path(ed.v);
     }
   }
-  assert(dsu.component_count() == 1 && "terminals must be connected in the host graph");
-
+  // Terminals in distinct leftover components (only possible when links sit
+  // at infinite cost) simply stay unspanned: the result is a Steiner forest
+  // over the reachable terminals, and callers detect the gap via
+  // is_valid_steiner_tree / their own span checks.
   return finalize(g, union_edges, T);
 }
 
@@ -186,8 +191,9 @@ SteinerTree takahashi_matsuyama(const Graph& g, const std::vector<NodeId>& termi
         pick = i;
       }
     }
-    assert(sp.dist[static_cast<std::size_t>(remaining[pick])] < graph::kInfiniteCost &&
-           "terminals must be connected in the host graph");
+    if (sp.dist[static_cast<std::size_t>(remaining[pick])] >= graph::kInfiniteCost) {
+      break;  // every remaining terminal is unreachable from the tree
+    }
     for (NodeId v = remaining[pick]; sp.parent[static_cast<std::size_t>(v)] != graph::kInvalidNode;
          v = sp.parent[static_cast<std::size_t>(v)]) {
       union_edges.insert(sp.parent_edge[static_cast<std::size_t>(v)]);
