@@ -250,9 +250,9 @@ Panel run_panel(const char* title, const sofe::topology::Topology& topo,
 }
 
 void write_json(const std::vector<Panel>& panels, bool smoke, const char* path) {
-  std::ostringstream out;
-  out << "{\"bench\":\"fig13_failures\",\"smoke\":" << (smoke ? "true" : "false")
-      << ",\"solver\":\"sofda\",\"panels\":[";
+  sofe::bench::BenchJsonWriter writer("fig13_failures", smoke);
+  std::ostringstream& out = writer.body();
+  out << ",\"solver\":\"sofda\",\"panels\":[";
   for (std::size_t pi = 0; pi < panels.size(); ++pi) {
     const auto& panel = panels[pi];
     out << (pi ? "," : "") << "{\"name\":\"" << panel.name
@@ -281,10 +281,8 @@ void write_json(const std::vector<Panel>& panels, bool smoke, const char* path) 
     }
     out << "]}";
   }
-  out << "]}\n";
-  std::ofstream file(path);
-  file << out.str();
-  std::cout << "\nwrote " << path << "\n";
+  out << "]";
+  writer.finish(path);
 }
 
 }  // namespace

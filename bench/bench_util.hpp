@@ -53,17 +53,42 @@ inline const std::vector<std::pair<std::string, std::string>>& comparison_solver
   return kAlgos;
 }
 
+/// Shared envelope for every harness's --json artifact (fig09/fig10 via
+/// write_dist_json, fig12, fig13): the document always opens with the bench
+/// name and the "smoke" marker.  A --smoke --json run used to overwrite a
+/// full artifact with fewer panels and no way to tell — consumers (CI
+/// artifacts, trend scripts) key on "smoke", so the marker rule is enforced
+/// here, in one place, instead of re-implemented per harness.  Append
+/// bench-specific fields to body() (each starting with ","), then
+/// finish(path) closes the document, writes the file and echoes the path.
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter(const std::string& bench_name, bool smoke) {
+    out_ << "{\"bench\":\"" << bench_name << "\",\"smoke\":" << (smoke ? "true" : "false");
+  }
+  std::ostringstream& body() noexcept { return out_; }
+  void finish(const char* path) {
+    out_ << "}\n";
+    std::ofstream file(path);
+    file << out_.str();
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  std::ostringstream out_;
+};
+
 /// Prints per-phase timing breakdowns (closure/pricing/solve/total
-/// mean+p95 in milliseconds, plus the closure-session and pricing-cache
-/// outcome tallies) collected by ReportAccumulators — one row per
-/// algorithm.
+/// mean+p95 in milliseconds, plus the closure-session, pricing-cache and
+/// row-retention outcome tallies and the peak closure slab footprint)
+/// collected by ReportAccumulators — one row per algorithm.
 inline void print_phase_breakdown(
     const std::string& title,
     const std::vector<std::pair<std::string, const api::ReportAccumulator*>>& rows) {
   std::cout << "\n" << title << "\n";
   util::Table table({"algo", "solves", "closure ms (p95)", "pricing ms (p95)",
                      "solve ms (p95)", "total ms (p95)", "hit/repair/rebuild",
-                     "chains hit/repriced"});
+                     "chains hit/repriced", "rows hit/ret/evict", "peak KB"});
   const auto cell = [](const api::PhaseSummary& s) {
     return util::Table::num(s.mean * 1e3, 2) + " (" + util::Table::num(s.p95 * 1e3, 2) + ")";
   };
@@ -73,7 +98,11 @@ inline void print_phase_breakdown(
                    std::to_string(acc->cache_hits()) + "/" + std::to_string(acc->repairs()) +
                        "/" + std::to_string(acc->rebuilds()),
                    std::to_string(acc->pricing_hits()) + "/" +
-                       std::to_string(acc->pricing_repriced())});
+                       std::to_string(acc->pricing_repriced()),
+                   std::to_string(acc->closure_row_hits()) + "/" +
+                       std::to_string(acc->closure_rows_retained()) + "/" +
+                       std::to_string(acc->closure_rows_evicted()),
+                   util::Table::num(static_cast<double>(acc->peak_closure_bytes()) / 1024.0, 1)});
   }
   table.print();
 }
@@ -335,11 +364,9 @@ inline DistSweep run_dist_ksweep(const topology::Topology& topo, topology::Probl
 
 inline void write_dist_json(const std::string& bench_name, const std::vector<DistSweep>& sweeps,
                             bool smoke, const char* path) {
-  std::ostringstream out;
-  // "smoke" marks reduced CI panels, exactly as in BENCH_online.json:
-  // consumers must never mistake the shrunken instance for a full run.
-  out << "{\"bench\":\"" << bench_name << "\",\"smoke\":" << (smoke ? "true" : "false")
-      << ",\"sweeps\":[";
+  BenchJsonWriter writer(bench_name, smoke);
+  std::ostringstream& out = writer.body();
+  out << ",\"sweeps\":[";
   for (std::size_t si = 0; si < sweeps.size(); ++si) {
     const auto& s = sweeps[si];
     out << (si ? "," : "") << "{\"topology\":\"" << s.topology << "\",\"nodes\":" << s.nodes
@@ -360,10 +387,8 @@ inline void write_dist_json(const std::string& bench_name, const std::vector<Dis
     }
     out << "]}";
   }
-  out << "]}\n";
-  std::ofstream file(path);
-  file << out.str();
-  std::cout << "wrote " << path << "\n";
+  out << "]";
+  writer.finish(path);
 }
 
 /// Exit status for the dist panel: nonzero when any point diverged from the

@@ -42,6 +42,7 @@ class SofdaSolver final : public Solver {
     req.threads = opt_.threads;
     req.incremental = opt_.incremental;
     req.bounded = opt_.bounded_closure;
+    req.retention = opt_.retention_rows;
     // Pricing and chain lifting query hub-to-hub only; the re-homing
     // fallback additionally queries hub-to-destination — so destinations
     // complete the settle scope of a bounded closure.
@@ -148,6 +149,7 @@ class SofdaSsSolver final : public Solver {
     // distribution part rides its own Steiner trees), so a bounded scope
     // needs no extra targets.
     req.bounded = opt_.bounded_closure;
+    req.retention = opt_.retention_rows;
     const auto& closure = session_.acquire(p.network, hubs, req, r);
     util::Stopwatch watch;
     ServiceForest f = core::sofda_ss(p, source, closure, opt_.algo());
@@ -219,6 +221,7 @@ class DistSolver final : public Solver {
     req.threads = opt_.threads;
     req.incremental = opt_.incremental;
     req.bounded = opt_.bounded_closure;
+    req.retention = opt_.retention_rows;
     req.settle_targets = p.destinations;  // the sharded advertisement targets
     const dist::ShardedClosure& sc = session_.acquire_sharded(p.network, hubs, k, req, bus, r);
 

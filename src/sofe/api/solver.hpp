@@ -81,6 +81,19 @@ struct SolverOptions {
   /// sessions rebuild on every cost change, so prefer `incremental` for
   /// arrival streams and `bounded_closure` for one-shot solves.
   bool bounded_closure = false;
+  /// Steady-state row retention window (DESIGN.md §13): how many hub rows
+  /// beyond the current request the closure session keeps warm, most
+  /// recently requested first.  An arrival stream with recurring sources
+  /// (online::OnlineConfig::source_pool) then finds a returning source's
+  /// tree already stored — revalidated against the same delta stream as
+  /// every live row — instead of re-running its Dijkstra.  Retained rows
+  /// cost one repair per price change while they stay in the window, so
+  /// the window trades repair work for build work; 0 disables retention
+  /// (every acquire drops all non-requested rows, the pre-window
+  /// behaviour).  Purely a speed/memory knob: requested-hub trees are
+  /// bit-identical with any window (tested).  Only incremental unbounded
+  /// sessions retain; strict/bounded sessions ignore this.
+  int retention_rows = 256;
   exact::ExactLimits exact_limits;  // the "exact" solver's search budget
 
   /// View for the procedural (core/baselines/dist) layers.
@@ -133,6 +146,18 @@ struct SolveReport {
   int pricing_repriced = 0;  //   chains re-priced this solve
   bool pricing_flushed = false;  //   this solve dropped every cached chain
 
+  /// Retention-window tallies (DESIGN.md §13).  A "row hit" is a requested
+  /// hub whose tree was already stored but was NOT part of the previous
+  /// request — i.e. a Dijkstra the retention window (or union cache)
+  /// saved.  retained counts rows kept warm beyond this request's hubs;
+  /// evicted counts stored rows this acquire dropped (LRU overflow or
+  /// rebuild).  closure_bytes is the session closure's slab footprint
+  /// after the acquire (MetricClosure::memory_bytes).
+  int closure_row_hits = 0;
+  int closure_rows_retained = 0;
+  int closure_rows_evicted = 0;
+  std::size_t closure_bytes = 0;
+
   double closure_seconds = 0.0;  // hub-tree (re)construction or repair
   double pricing_seconds = 0.0;  // candidate-chain pricing (SOFDA)
   double solve_seconds = 0.0;    // everything after pricing
@@ -148,6 +173,10 @@ struct ClosureRequest {
   /// destinations); ignored when !bounded.  The span must stay alive for
   /// the duration of the acquire call only.
   std::span<const NodeId> settle_targets;
+  /// LRU retention window size (SolverOptions::retention_rows): stored
+  /// rows beyond the requested hubs kept warm by the repair path, most
+  /// recently requested first.  Ignored unless incremental && !bounded.
+  int retention = 0;
 };
 
 /// A published read-only closure epoch (DESIGN.md §10): the immutable
@@ -236,35 +265,59 @@ class ClosureSession {
     return u;
   }
 
-  /// Drops the cached closure (the next acquire rebuilds).
+  /// Drops the cached closure (the next acquire rebuilds).  A published
+  /// epoch is unaffected: it holds its own row references.
   void invalidate() {
-    assert(!published_ && "retire() the epoch before invalidating the session");
     valid_ = false;
     sharded_valid_ = false;
   }
 
   /// Publishes the session closure as a read-only epoch (DESIGN.md §10):
   /// acquires exactly as acquire() would — hit, repair or rebuild — then
-  /// bumps the epoch generation and returns the handle N pipeline workers
-  /// may query concurrently.  Between publish() and retire() the session
-  /// closure is frozen: acquire() and invalidate() assert, and the caller
-  /// must not touch `g` while any reader holds the handle.
+  /// snapshots the result by sharing row slabs copy-on-write
+  /// (MetricClosure::snapshot_to, §13): O(rows) reference copies and slab
+  /// pins, never a deep copy.  The handle N pipeline workers may query
+  /// concurrently stays bitwise frozen even while the live session keeps
+  /// acquiring — a repair relocates any row an epoch still pins before
+  /// writing it — so publish/acquire no longer exclude each other; the
+  /// caller must merely not mutate `g` while a reader is mid-query.
   ClosureEpoch publish(const graph::Graph& g, const std::vector<NodeId>& hubs,
                        const ClosureRequest& req, SolveReport& report);
 
-  /// Ends the published epoch's sharing phase.  The caller guarantees no
-  /// reader still dereferences the handle; the cached closure itself is
-  /// retained, so the next publish() repairs instead of rebuilding.
-  void retire() noexcept { published_ = false; }
+  /// Ends the published epoch's sharing phase: drops the snapshot's row
+  /// references and unpins its slabs (the caller guarantees no reader
+  /// still dereferences the handle).  The cached closure itself is
+  /// retained, so the next publish() repairs instead of rebuilding — and
+  /// retiring BEFORE the next publish keeps that repair in place rather
+  /// than copy-on-write.
+  void retire() noexcept {
+    epoch_closure_.release_rows();
+    published_ = false;
+  }
 
   /// The session's single-thread build engine (exposed so solvers can run
   /// auxiliary queries against persistent workspaces).
   graph::ShortestPathEngine& engine() noexcept { return engine_; }
 
  private:
+  /// The retain keep-list of a repair-path acquire: the requested hubs
+  /// plus up to `retention` stored LRU hubs.  Fills `keep_` (scratch) and
+  /// the report's row-hit/retained/evicted tallies; `stored` answers
+  /// whether a hub currently has a row, `stored_rows` is the row count
+  /// before retention runs.
+  template <typename StoredFn>
+  void plan_retention(const std::vector<NodeId>& hubs, int retention, std::size_t stored_rows,
+                      const StoredFn& stored, SolveReport& report);
+  /// Moves this acquire's hubs to the front of the LRU recency list and
+  /// prunes the tail (bounded by the retention window).
+  void touch_lru(const std::vector<NodeId>& hubs, int retention);
+
   graph::MetricClosure closure_;
+  graph::MetricClosure epoch_closure_;  // the published snapshot's row refs
   graph::ShortestPathEngine engine_;
   std::unique_ptr<dist::ShardedClosure> sharded_;  // sharded-mode cache (lazy)
+  std::vector<NodeId> lru_;   // hubs by request recency, most recent first
+  std::vector<NodeId> keep_;  // scratch: retain() keep-list
   bool valid_ = false;
   bool sharded_valid_ = false;
   int sharded_k_ = 0;               // controller count the sharded cache was built for

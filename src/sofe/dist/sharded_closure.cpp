@@ -427,4 +427,10 @@ void ShardedClosure::retain(const std::vector<NodeId>& hubs) {
   std::erase_if(hubs_, [&](NodeId h) { return keep.find(h) == keep.end(); });
 }
 
+std::size_t ShardedClosure::memory_bytes() const {
+  std::size_t bytes = stitched_.memory_bytes();
+  for (const DomainState& ds : domains_) bytes += ds.local.memory_bytes();
+  return bytes;
+}
+
 }  // namespace sofe::dist

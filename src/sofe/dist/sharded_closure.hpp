@@ -104,6 +104,11 @@ class ShardedClosure {
   const Stats& stats() const noexcept { return stats_; }
   bool bounded() const noexcept { return bounded_; }
 
+  /// Bytes held in closure rows across the deployment: every domain's
+  /// local closure plus the stitched global view (each slab counted once
+  /// per closure — the closures share no storage with each other).
+  std::size_t memory_bytes() const;
+
   Cost distance(NodeId from, NodeId to) const { return stitched_.distance(from, to); }
   std::vector<NodeId> path(NodeId from, NodeId to) const { return stitched_.path(from, to); }
 

@@ -18,6 +18,26 @@ std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
   return path;
 }
 
+std::vector<NodeId> ConstTreeRow::path_to(NodeId target) const {
+  assert(reachable(target));
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != kInvalidNode; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  assert(path.front() == source);
+  return path;
+}
+
+ShortestPathTree ConstTreeRow::materialize() const {
+  ShortestPathTree t;
+  t.source = source;
+  t.dist.assign(dist, dist + n);
+  t.parent.assign(parent, parent + n);
+  t.parent_edge.assign(parent_edge, parent_edge + n);
+  return t;
+}
+
 // The free functions are one-shot conveniences (tests, oracles, small
 // callers); hot paths hold a ShortestPathEngine and amortize its workspaces
 // across queries instead.

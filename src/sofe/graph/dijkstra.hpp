@@ -9,6 +9,7 @@
 // reuses its workspaces and the graph's CSR adjacency so the hot paths do no
 // per-query allocation.  Both produce bit-identical trees.
 
+#include <cstddef>
 #include <vector>
 
 #include "sofe/graph/graph.hpp"
@@ -29,6 +30,52 @@ struct ShortestPathTree {
   /// Reconstructs the node sequence source -> ... -> target.
   /// Requires reachable(target) (asserted).  path_to(source) == {source}.
   std::vector<NodeId> path_to(NodeId target) const;
+};
+
+/// Mutable view of one shortest-path tree stored as raw rows (slab-backed
+/// closure storage, DESIGN.md §13).  Same field meanings as
+/// ShortestPathTree; the arrays live elsewhere and must hold `n` entries.
+/// ShortestPathEngine's run_into/repair write through views like this one,
+/// so a tree row never needs to round-trip through per-tree vectors.
+struct TreeRow {
+  NodeId source = kInvalidNode;
+  Cost* dist = nullptr;
+  NodeId* parent = nullptr;
+  EdgeId* parent_edge = nullptr;
+  std::size_t n = 0;
+};
+
+/// Read-only view of one stored shortest-path tree; the query surface of
+/// MetricClosure::tree().  Mirrors ShortestPathTree's accessors so callers
+/// binding `const auto&` keep compiling unchanged.
+struct ConstTreeRow {
+  NodeId source = kInvalidNode;
+  const Cost* dist = nullptr;
+  const NodeId* parent = nullptr;
+  const EdgeId* parent_edge = nullptr;
+  std::size_t n = 0;
+
+  ConstTreeRow() = default;
+  ConstTreeRow(NodeId src, const Cost* d, const NodeId* p, const EdgeId* pe, std::size_t count)
+      : source(src), dist(d), parent(p), parent_edge(pe), n(count) {}
+  ConstTreeRow(const TreeRow& row)  // NOLINT(google-explicit-constructor)
+      : source(row.source), dist(row.dist), parent(row.parent),
+        parent_edge(row.parent_edge), n(row.n) {}
+  ConstTreeRow(const ShortestPathTree& t)  // NOLINT(google-explicit-constructor)
+      : source(t.source), dist(t.dist.data()), parent(t.parent.data()),
+        parent_edge(t.parent_edge.data()), n(t.dist.size()) {}
+
+  bool reachable(NodeId v) const { return dist[static_cast<std::size_t>(v)] < kInfiniteCost; }
+
+  Cost distance(NodeId v) const { return dist[static_cast<std::size_t>(v)]; }
+
+  /// Reconstructs the node sequence source -> ... -> target.
+  /// Requires reachable(target) (asserted).  path_to(source) == {source}.
+  std::vector<NodeId> path_to(NodeId target) const;
+
+  /// Deep copy into an owning ShortestPathTree (snapshots for diffing in
+  /// tests, dist-layer row export).  The view itself never owns storage.
+  ShortestPathTree materialize() const;
 };
 
 /// Runs Dijkstra from `source` over the whole graph.

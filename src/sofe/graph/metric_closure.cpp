@@ -1,6 +1,7 @@
 #include "sofe/graph/metric_closure.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,46 +20,42 @@ Arc zero_cost_tap(const Graph& g, NodeId v) {
   return Arc{};
 }
 
-/// Derives the tree a full Dijkstra from tap hub `v` would produce, given
-/// the tree of its host `h` (reached via zero-cost edge `e`).
-///
-/// Why this is exact, bit for bit: every path out of v is v -e-> h -> ...,
-/// and e costs zero, so 0.0 + d == d leaves every label, comparison and
-/// settle-order key of the host's run unchanged.  The only differences in
-/// the resulting tree are at the two endpoints of e: v becomes the root
-/// (no parent) and h hangs off v through e.
-void derive_tap_tree(const ShortestPathTree& host_tree, NodeId v, NodeId h, EdgeId e,
-                     ShortestPathTree& out) {
-  out = host_tree;
-  out.source = v;
-  out.parent[static_cast<std::size_t>(v)] = kInvalidNode;
-  out.parent_edge[static_cast<std::size_t>(v)] = kInvalidEdge;
-  out.parent[static_cast<std::size_t>(h)] = v;
-  out.parent_edge[static_cast<std::size_t>(h)] = e;
-}
-
-/// Derives tap v1's tree from SIBLING tap v0's tree — both zero-cost
-/// degree-1 taps of the same host h (v0 via e0, v1 via e1).  The two runs
-/// share every label: both settle their own root, then h, then the rest of
-/// the dist-0 plateau and the graph in an identical sequence (a tap's only
-/// arc leads to h, so relaxations from other taps never matter).  Only
-/// three parents differ: v1 becomes the root, h hangs off v1, and v0 hangs
-/// off h the way every non-root tap does.  Used by refresh(), where the
-/// host's own tree is usually not stored — one repaired representative
-/// carries its whole sibling group.
-void derive_sibling_tap_tree(const ShortestPathTree& rep_tree, NodeId v0, EdgeId e0, NodeId v1,
-                             EdgeId e1, NodeId h, ShortestPathTree& out) {
-  out = rep_tree;
-  out.source = v1;
-  out.parent[static_cast<std::size_t>(v1)] = kInvalidNode;
-  out.parent_edge[static_cast<std::size_t>(v1)] = kInvalidEdge;
-  out.parent[static_cast<std::size_t>(h)] = v1;
-  out.parent_edge[static_cast<std::size_t>(h)] = e1;
-  out.parent[static_cast<std::size_t>(v0)] = h;
-  out.parent_edge[static_cast<std::size_t>(v0)] = e0;
-}
-
 }  // namespace
+
+// Tap derivation on rows.  Why it is exact, bit for bit: every path out of
+// tap v is v -e-> h -> ..., and e costs zero, so 0.0 + d == d leaves every
+// label, comparison and settle-order key of the host's run unchanged — the
+// tap's dist array IS the host image's dist array, which is why derived
+// rows alias it instead of copying.  Only the parents at the endpoints of
+// the tap edges differ:
+//
+//   * host image -> tap v (derive_tap_fixups): v becomes the root (no
+//     parent) and h hangs off v through e;
+//   * sibling tap v0's tree -> tap v1 (derive_sibling_fixups): v1 becomes
+//     the root, h hangs off v1 through e1, and v0 hangs off h through e0
+//     the way every non-root tap does.  Used by refresh(), where the
+//     host's own tree is usually not stored — one repaired representative
+//     carries its whole sibling group.
+//
+// Callers copy the source idx row into `row` first (or convert the host
+// image in place) and then apply the fixups.
+
+static void derive_tap_fixups(const TreeRow& row, NodeId v, NodeId h, EdgeId e) {
+  row.parent[static_cast<std::size_t>(v)] = kInvalidNode;
+  row.parent_edge[static_cast<std::size_t>(v)] = kInvalidEdge;
+  row.parent[static_cast<std::size_t>(h)] = v;
+  row.parent_edge[static_cast<std::size_t>(h)] = e;
+}
+
+static void derive_sibling_fixups(const TreeRow& row, NodeId v0, EdgeId e0, NodeId v1, EdgeId e1,
+                                  NodeId h) {
+  row.parent[static_cast<std::size_t>(v1)] = kInvalidNode;
+  row.parent_edge[static_cast<std::size_t>(v1)] = kInvalidEdge;
+  row.parent[static_cast<std::size_t>(h)] = v1;
+  row.parent_edge[static_cast<std::size_t>(h)] = e1;
+  row.parent[static_cast<std::size_t>(v0)] = h;
+  row.parent_edge[static_cast<std::size_t>(v0)] = e0;
+}
 
 void MetricClosure::build(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
                           ShortestPathEngine* engine, ClosureScope scope) {
@@ -86,7 +83,8 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
                             std::vector<RowDelta>* changed) {
   assert(!bounded_ && "truncated trees cannot be repaired; rebuild instead");
   if (changed != nullptr) changed->clear();
-  if (deltas.empty() || trees_.empty()) return;
+  if (deltas.empty() || rows_.empty()) return;
+  ++write_gen_;
 
   // Tap-aware repair plan, mirroring the build's derivation: a zero-cost
   // degree-1 tap shares every label with its host, so one repaired
@@ -99,7 +97,7 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
   // group) must stay in lockstep with build_or_extend's tap rules above —
   // both encode the same "derivation is exact unless the host chases back
   // into a tap" invariant.
-  const std::size_t n_slots = trees_.size();
+  const std::size_t n_slots = rows_.size();
   std::vector<NodeId> slot_hub(n_slots, kInvalidNode);
   for (const auto& [hub, slot] : tree_index_) slot_hub[slot] = hub;
 
@@ -151,6 +149,74 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
     }
   }
 
+  // --- Copy-on-write / writability plan (serial, before the parallel
+  // repairs touch anything).  Two reasons a row must be relocated before
+  // its in-place write: its slab is pinned by a published epoch snapshot
+  // (snapshot_to), or its dist row is aliased by a live row that is NOT
+  // re-derived from it this round (a demoted tap, or a group whose
+  // representative changed) — both that row's repair and ours need the
+  // shared pre-delta dist as their private starting state.  Derive
+  // targets never repair in place: they re-point their dist at the
+  // representative's row and take a fresh idx row when theirs is pinned
+  // (no copy — the derive pass fully overwrites it).  A dropped dist
+  // reference is recycled once no live row holds it.
+  std::unordered_map<const Cost*, std::size_t> dist_refs;  // live alias counts
+  for (const StoredRow& row : rows_) ++dist_refs[row.dist.get()];
+  std::vector<std::size_t> derive_from(n_slots, SIZE_MAX);
+  for (const Job& j : derives) derive_from[j.slot] = j.from;
+  const auto drop_dist_ref = [&](RowStore::DistRef ref) {
+    if (--dist_refs[ref.get()] == 0) store_.release(std::move(ref));
+  };
+  std::unordered_map<const Cost*, std::vector<std::size_t>> alias_slots;
+  for (std::size_t i = 0; i < n_slots; ++i) {
+    if (dist_refs[rows_[i].dist.get()] > 1) alias_slots[rows_[i].dist.get()].push_back(i);
+  }
+  for (std::size_t s : repairs) {
+    StoredRow& row = rows_[s];
+    bool copy_dist = row.dist.slab->pins > 0;
+    if (!copy_dist) {
+      const auto it = alias_slots.find(row.dist.get());
+      if (it != alias_slots.end()) {
+        for (std::size_t x : it->second) {
+          if (x != s && derive_from[x] != s) {
+            copy_dist = true;
+            break;
+          }
+        }
+      }
+    }
+    if (copy_dist) {
+      RowStore::DistRef fresh = store_.alloc_dist();
+      std::memcpy(fresh.get(), row.dist.get(), n_ * sizeof(Cost));
+      RowStore::DistRef old = std::move(row.dist);
+      row.dist = std::move(fresh);
+      ++dist_refs[row.dist.get()];
+      drop_dist_ref(std::move(old));
+    }
+    if (row.idx.slab->pins > 0) {
+      RowStore::IdxRef fresh = store_.alloc_idx();
+      std::memcpy(fresh.get(), row.idx.get(), 2 * n_ * sizeof(std::int32_t));
+      store_.release(std::move(row.idx));
+      row.idx = std::move(fresh);
+    }
+    row.gen = write_gen_;
+  }
+  for (const Job& j : derives) {
+    StoredRow& dst = rows_[j.slot];
+    const StoredRow& rep = rows_[j.from];  // post-relocation reference
+    if (!dst.dist.aliases(rep.dist)) {
+      RowStore::DistRef old = std::move(dst.dist);
+      dst.dist = rep.dist;
+      ++dist_refs[dst.dist.get()];
+      drop_dist_ref(std::move(old));
+    }
+    if (dst.idx.slab->pins > 0) {
+      store_.release(std::move(dst.idx));
+      dst.idx = store_.alloc_idx();
+    }
+    dst.gen = write_gen_;
+  }
+
   // Per-repair change records (preassigned slots so the parallel stripes
   // write disjoint locations; only filled when the caller wants them).
   struct RepairOutcome {
@@ -161,11 +227,11 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
   std::vector<RepairOutcome> outcomes(changed != nullptr ? repairs.size() : 0);
   const auto repair_one = [&](ShortestPathEngine& eng, std::size_t ri) {
     if (changed == nullptr) {
-      eng.repair(trees_[repairs[ri]], deltas);
+      eng.repair(row_view(repairs[ri]), deltas);
       return;
     }
     RepairOutcome& out = outcomes[ri];
-    const auto stats = eng.repair(trees_[repairs[ri]], deltas, &out.nodes);
+    const auto stats = eng.repair(row_view(repairs[ri]), deltas, &out.nodes);
     out.changed = stats.changed_anything();
     out.full = stats.fell_back;
   };
@@ -237,11 +303,18 @@ void MetricClosure::refresh(const Graph& g, std::span<const EdgeCostDelta> delta
         changed->push_back(RowDelta{v, rep.full, rep.nodes});
       }
     }
+    // Dist is shared with the representative (re-pointed in the plan
+    // above); only the idx row is copied, then fixed up.
+    StoredRow& dst = rows_[job.slot];
+    const StoredRow& rep = rows_[job.from];
+    assert(dst.dist.aliases(rep.dist));
+    std::memcpy(dst.idx.get(), rep.idx.get(), 2 * n_ * sizeof(std::int32_t));
+    dst.source = v;
     if (from_hub == t.host) {
-      derive_tap_tree(trees_[job.from], v, t.host, t.edge, trees_[job.slot]);
+      derive_tap_fixups(row_view(job.slot), v, t.host, t.edge);
     } else {
-      derive_sibling_tap_tree(trees_[job.from], from_hub, taps[job.from].edge, v, t.edge,
-                              t.host, trees_[job.slot]);
+      derive_sibling_fixups(row_view(job.slot), from_hub, taps[job.from].edge, v, t.edge,
+                            t.host);
     }
     derive_memo_[job.slot] = DeriveMemo{from_hub, t.host, t.edge};
   }
@@ -260,30 +333,114 @@ void MetricClosure::retain(const std::vector<NodeId>& hubs) {
     }
     if (all_kept) return;  // nothing stale — the common steady state
   }
-  std::vector<NodeId> slot_hub(trees_.size(), kInvalidNode);
+  std::vector<NodeId> slot_hub(rows_.size(), kInvalidNode);
   for (const auto& [hub, slot] : tree_index_) slot_hub[slot] = hub;
-  std::vector<ShortestPathTree> kept;
-  std::vector<DeriveMemo> kept_memo;
-  kept.reserve(trees_.size());
-  kept_memo.reserve(trees_.size());
-  tree_index_.clear();
-  for (std::size_t i = 0; i < trees_.size(); ++i) {
-    if (!keep.contains(slot_hub[i])) continue;
-    tree_index_.emplace(slot_hub[i], kept.size());
-    kept.push_back(std::move(trees_[i]));
-    kept_memo.push_back(derive_memo_[i]);
+
+  // A dropped dist row is recycled only when no surviving row aliases it:
+  // a tap group's shared host image stays alive as long as any member
+  // does (and the next refresh re-reps the group onto a survivor).
+  std::unordered_set<const Cost*> kept_dist;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (keep.contains(slot_hub[i])) kept_dist.insert(rows_[i].dist.get());
   }
-  trees_ = std::move(kept);
+  std::vector<StoredRow> kept;
+  std::vector<DeriveMemo> kept_memo;
+  kept.reserve(rows_.size());
+  kept_memo.reserve(rows_.size());
+  tree_index_.clear();
+  std::unordered_set<const Cost*> released_dist;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (keep.contains(slot_hub[i])) {
+      tree_index_.emplace(slot_hub[i], kept.size());
+      kept.push_back(std::move(rows_[i]));
+      kept_memo.push_back(derive_memo_[i]);
+      continue;
+    }
+    StoredRow& row = rows_[i];
+    if (!kept_dist.contains(row.dist.get()) && released_dist.insert(row.dist.get()).second) {
+      store_.release(std::move(row.dist));
+    }
+    store_.release(std::move(row.idx));
+  }
+  rows_ = std::move(kept);
   derive_memo_ = std::move(kept_memo);
+}
+
+void MetricClosure::snapshot_to(MetricClosure& out) const {
+  out.release_rows();
+  out.rows_ = rows_;
+  out.tree_index_ = tree_index_;
+  out.n_ = n_;
+  out.bounded_ = bounded_;
+  out.pinned_ = true;
+  // Pin each distinct slab once: the live side's refresh/retain/build
+  // relocate instead of writing pinned rows, so the snapshot stays frozen.
+  std::unordered_set<const void*> seen;
+  for (const StoredRow& r : out.rows_) {
+    if (r.dist.slab != nullptr && seen.insert(r.dist.slab.get()).second) ++r.dist.slab->pins;
+    if (r.idx.slab != nullptr && seen.insert(r.idx.slab.get()).second) ++r.idx.slab->pins;
+  }
+}
+
+void MetricClosure::release_rows() {
+  if (pinned_) {
+    std::unordered_set<const void*> seen;
+    for (const StoredRow& r : rows_) {
+      if (r.dist.slab != nullptr && seen.insert(r.dist.slab.get()).second) --r.dist.slab->pins;
+      if (r.idx.slab != nullptr && seen.insert(r.idx.slab.get()).second) --r.idx.slab->pins;
+    }
+    pinned_ = false;
+  }
+  rows_.clear();
+  tree_index_.clear();
+  derive_memo_.clear();
+}
+
+std::size_t MetricClosure::memory_bytes() const {
+  std::unordered_set<const void*> seen;
+  std::size_t bytes = 0;
+  for (const StoredRow& r : rows_) {
+    if (r.dist.slab != nullptr && seen.insert(r.dist.slab.get()).second) {
+      bytes += r.dist.slab->data.capacity() * sizeof(Cost);
+    }
+    if (r.idx.slab != nullptr && seen.insert(r.idx.slab.get()).second) {
+      bytes += r.idx.slab->data.capacity() * sizeof(std::int32_t);
+    }
+  }
+  store_.account(seen, bytes);
+  return bytes;
 }
 
 void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& hubs,
                                     int num_threads, ShortestPathEngine* engine, bool rebuild) {
+  ++write_gen_;
+  const auto n = static_cast<std::size_t>(g.node_count());
+  if (rebuild) {
+    // Recycle every row through the store's free lists (dist rows once per
+    // distinct row — tap groups share) so a same-shape rebuild reuses the
+    // identical slab memory; reset() drops the lists wholesale when the
+    // node count changed.  Rows shared with an epoch snapshot stay alive
+    // through the snapshot's own references and are skipped by the
+    // allocator until retired.
+    std::unordered_set<const Cost*> released;
+    for (StoredRow& row : rows_) {
+      if (row.dist && released.insert(row.dist.get()).second) {
+        store_.release(std::move(row.dist));
+      }
+      store_.release(std::move(row.idx));
+    }
+    rows_.clear();
+    derive_memo_.clear();
+    store_.reset(n);
+    n_ = n;
+  } else {
+    assert(n_ == n && "extend requires the same graph the closure was built over");
+  }
+
   // Dedupe the NEW hubs in first-seen order against whatever is already
-  // indexed; every new hub gets a preassigned tree slot, so the parallel
-  // build below writes disjoint, fixed locations.  Rebuilds (base == 0)
-  // reuse trees_ elements (and their vector capacities) in place.
-  const std::size_t base = rebuild ? 0 : trees_.size();
+  // indexed; every new hub gets a preassigned row slot, so the parallel
+  // build below writes disjoint, fixed locations.
+  const std::size_t base = rows_.size();
   std::vector<NodeId> fresh;
   fresh.reserve(hubs.size());
   for (NodeId h : hubs) {
@@ -291,7 +448,7 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
     tree_index_.emplace(h, base + fresh.size());
     fresh.push_back(h);
   }
-  trees_.resize(base + fresh.size());
+  rows_.resize(base + fresh.size());
   derive_memo_.resize(base + fresh.size());
   std::fill(derive_memo_.begin() + static_cast<std::ptrdiff_t>(base), derive_memo_.end(),
             DeriveMemo{});
@@ -320,33 +477,54 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
     }
   }
 
-  // The full-run worklist: every new non-tap hub (into its slot) plus every
-  // distinct tap host that is not a hub at all (into side storage).
-  struct Run {
-    NodeId root = kInvalidNode;
-    ShortestPathTree* out = nullptr;
-  };
-  std::vector<Run> runs;
-  std::unordered_map<NodeId, std::size_t> extra_index;  // non-hub host -> slot
-  std::vector<ShortestPathTree> extra_trees;
+  // Row allocation plan (serial; the allocator is not thread-safe).  Every
+  // fresh hub owns an idx row.  Dist rows: non-tap hubs own one; the FIRST
+  // tap of a group whose host is not a hub owns one too — the host's
+  // Dijkstra runs directly into that tap's row (the host image; dist is
+  // bitwise the tap's own), and the serial derive pass converts it in
+  // place.  Every other tap aliases its derivation source's dist row.
+  // group_image: non-hub host -> the fresh index owning its host image.
+  std::unordered_map<NodeId, std::size_t> group_image;
+  std::vector<std::size_t> derive_source(fresh.size(), SIZE_MAX);  // slot to copy idx from
+  std::vector<char> is_image(fresh.size(), 0);
   for (std::size_t i = 0; i < fresh.size(); ++i) {
-    if (taps[i].host == kInvalidNode) runs.push_back(Run{fresh[i], &trees_[base + i]});
-  }
-  for (const Tap& t : taps) {
-    if (t.host == kInvalidNode || tree_index_.contains(t.host)) continue;
-    if (extra_index.emplace(t.host, extra_trees.size()).second) {
-      extra_trees.emplace_back();
+    StoredRow& row = rows_[base + i];
+    row.source = fresh[i];
+    row.gen = write_gen_;
+    row.idx = store_.alloc_idx();
+    const Tap& t = taps[i];
+    if (t.host == kInvalidNode) {
+      row.dist = store_.alloc_dist();
+    } else if (!tree_index_.contains(t.host) && group_image.emplace(t.host, i).second) {
+      is_image[i] = 1;  // the host image lands here, converted in place
+      row.dist = store_.alloc_dist();
     }
   }
-  // extra_trees no longer grows; pointers into it are stable from here on.
-  runs.reserve(runs.size() + extra_trees.size());
-  std::vector<bool> scheduled(extra_trees.size(), false);
-  for (const Tap& t : taps) {  // first-seen host order
-    if (t.host == kInvalidNode) continue;
-    const auto it = extra_index.find(t.host);
-    if (it == extra_index.end() || scheduled[it->second]) continue;
-    scheduled[it->second] = true;
-    runs.push_back(Run{t.host, &extra_trees[it->second]});
+  // Aliases second: a tap's host may be a fresh non-tap hub whose own dist
+  // row was only allocated later in the pass above.
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const Tap& t = taps[i];
+    if (t.host == kInvalidNode || is_image[i]) continue;
+    const auto it = tree_index_.find(t.host);
+    derive_source[i] = it != tree_index_.end() ? it->second : base + group_image.at(t.host);
+    rows_[base + i].dist = rows_[derive_source[i]].dist;
+  }
+
+  // The full-run worklist: every new non-tap hub (into its own row) plus
+  // every distinct non-hub tap host (into its first tap's row), scheduled
+  // in fresh order — bit-identical work assignment to the historical
+  // side-storage layout at any thread count.
+  struct Run {
+    NodeId root = kInvalidNode;
+    std::size_t slot = 0;
+  };
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (taps[i].host == kInvalidNode) {
+      runs.push_back(Run{fresh[i], base + i});
+    } else if (is_image[i]) {
+      runs.push_back(Run{taps[i].host, base + i});
+    }
   }
 
   const std::span<const NodeId> stop = bounded_ ? std::span<const NodeId>(settle_targets_)
@@ -357,7 +535,7 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
     ShortestPathEngine local;
     ShortestPathEngine& eng = engine != nullptr ? *engine : local;
     eng.attach(g);
-    for (const Run& r : runs) eng.run_into(r.root, *r.out, stop);
+    for (const Run& r : runs) eng.run_into(r.root, row_view(r.slot), stop);
   } else {
     g.ensure_csr();  // the lazy csr() rebuild is not thread-safe on a miss
     std::vector<std::thread> pool;
@@ -366,24 +544,33 @@ void MetricClosure::build_or_extend(const Graph& g, const std::vector<NodeId>& h
       pool.emplace_back([&, w] {
         ShortestPathEngine worker(g);
         for (std::size_t i = w; i < runs.size(); i += workers) {
-          worker.run_into(runs[i].root, *runs[i].out, stop);
+          worker.run_into(runs[i].root, row_view(runs[i].slot), stop);
         }
       });
     }
     for (std::thread& t : pool) t.join();
   }
 
-  // Derive every new tap hub from its host's finished tree (memcpy-bound).
-  // The derivation memo records host-image shape: refresh() re-derives tap
-  // groups through a stored representative, so its shape check treats a
-  // host-derived memo as matching only when it derives from the host again.
+  // Derive every new tap hub from its host's finished image.  Siblings
+  // copy the image's idx row BEFORE the image slot is converted to its
+  // own tap's tree (in-place fixups, no copy), so the copy order below —
+  // non-image taps first, image taps last — matters.  The derivation memo
+  // records host-image shape: refresh() re-derives tap groups through a
+  // stored representative, so its shape check treats a host-derived memo
+  // as matching only when it derives from the host again.
   for (std::size_t i = 0; i < fresh.size(); ++i) {
     const Tap& t = taps[i];
-    if (t.host == kInvalidNode) continue;
-    const auto it = tree_index_.find(t.host);
-    const ShortestPathTree& host_tree =
-        it != tree_index_.end() ? trees_[it->second] : extra_trees[extra_index.at(t.host)];
-    derive_tap_tree(host_tree, fresh[i], t.host, t.edge, trees_[base + i]);
+    if (t.host == kInvalidNode || is_image[i]) continue;
+    StoredRow& row = rows_[base + i];
+    std::memcpy(row.idx.get(), rows_[derive_source[i]].idx.get(),
+                2 * n_ * sizeof(std::int32_t));
+    derive_tap_fixups(row_view(base + i), fresh[i], t.host, t.edge);
+    derive_memo_[base + i] = DeriveMemo{t.host, t.host, t.edge};
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const Tap& t = taps[i];
+    if (t.host == kInvalidNode || !is_image[i]) continue;
+    derive_tap_fixups(row_view(base + i), fresh[i], t.host, t.edge);
     derive_memo_[base + i] = DeriveMemo{t.host, t.host, t.edge};
   }
 }

@@ -6,12 +6,20 @@
 // algorithm, and SOFDA's auxiliary-graph pricing all consult distances among
 // the same hub set {sources} ∪ {VMs} ∪ {destinations}; this class computes
 // each hub's Dijkstra tree once and shares it.
+//
+// Storage is slab-backed rows (RowStore, DESIGN.md §13): each hub owns one
+// dist row and one idx row (parents + parent edges) addressed by slot, tap
+// hubs alias their host's dist row, and api::ClosureSession::publish
+// snapshots the closure by sharing row references copy-on-write instead of
+// deep-copying trees.
 
 #include <cassert>
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "sofe/graph/closure_rows.hpp"
 #include "sofe/graph/dijkstra.hpp"
 #include "sofe/graph/graph.hpp"
 
@@ -54,17 +62,17 @@ class MetricClosure {
   /// single zero-cost edge — the library's canonical VM tap
   /// (topology::make_problem, the online simulator) — shares every shortest
   /// path with its attachment host, so its tree is derived from the host's
-  /// tree in one O(V) copy plus two parent fixups instead of a full
-  /// Dijkstra.  The derived tree is bit-identical to what the full run
-  /// produces (tested): with a zero-cost tap, label arithmetic, settle
-  /// order and every relaxation outcome coincide.  A SOFDA-style hub set
-  /// (many VMs per data center plus sources) therefore costs one Dijkstra
-  /// per *distinct host* rather than one per VM.
+  /// tree instead of a full Dijkstra: its dist row ALIASES the host image's
+  /// dist row (0 + d == d makes them bitwise equal), and its idx row is the
+  /// host's plus two parent fixups.  The derived tree is bit-identical to
+  /// what the full run produces (tested).  A SOFDA-style hub set (many VMs
+  /// per data center plus sources) therefore costs one Dijkstra and one
+  /// dist row per *distinct host* rather than one per VM.
   ///
   /// `num_threads` > 1 runs the full (non-derived) trees in parallel: the
   /// CSR is prebuilt once (`Graph::ensure_csr`), roots are striped over
   /// workers in a fixed assignment, and each worker runs its own engine into
-  /// preassigned slots — so the result is bit-identical to the
+  /// preassigned rows — so the result is bit-identical to the
   /// single-threaded build for any thread count (tested).  Values < 1 are
   /// clamped to 1; the thread count is a knob on AlgoOptions
   /// (closure_threads) and api::SolverOptions (threads) for the solver
@@ -77,14 +85,24 @@ class MetricClosure {
   /// sessions keep one MetricClosure object across solves.
   MetricClosure() = default;
 
-  /// (Re)builds the closure in place.  Tree and index storage is reused, so
-  /// a session that rebuilds after an edge-cost change (the online
-  /// simulator's per-arrival price refresh) recomputes the Dijkstra trees
-  /// without reallocating their O(hubs · V) arrays.  When `engine` is given
-  /// it runs the single-threaded build (persistent heap/label workspaces —
-  /// api::ClosureSession passes its session engine); parallel builds use
-  /// one worker-local engine per thread regardless.  `scope` optionally
-  /// bounds every run to settle-all-hubs (see ClosureScope).
+  /// Rows are shared-by-reference with published epochs; a plain copy
+  /// would share them without the copy-on-write pins.  Snapshot through
+  /// snapshot_to() instead.  Moves are fine.
+  MetricClosure(const MetricClosure&) = delete;
+  MetricClosure& operator=(const MetricClosure&) = delete;
+  MetricClosure(MetricClosure&&) = default;
+  MetricClosure& operator=(MetricClosure&&) = default;
+  ~MetricClosure() { release_rows(); }
+
+  /// (Re)builds the closure in place.  Row storage is recycled through the
+  /// store's free lists, so a session that rebuilds after an edge-cost
+  /// change (the online simulator's per-arrival price refresh) recomputes
+  /// the Dijkstra trees without reallocating their O(hubs · V) arrays.
+  /// When `engine` is given it runs the single-threaded build (persistent
+  /// heap/label workspaces — api::ClosureSession passes its session
+  /// engine); parallel builds use one worker-local engine per thread
+  /// regardless.  `scope` optionally bounds every run to settle-all-hubs
+  /// (see ClosureScope).
   void build(const Graph& g, const std::vector<NodeId>& hubs, int num_threads = 1,
              ShortestPathEngine* engine = nullptr, ClosureScope scope = {});
 
@@ -108,7 +126,10 @@ class MetricClosure {
   /// representative per distinct zero-cost-tap host carries its whole tap
   /// group by re-derivation, so the repair count matches the build's
   /// Dijkstra count rather than the (vms_per_dc times larger) tree count.
-  /// Threading stripes the representative repairs over workers.
+  /// Threading stripes the representative repairs over workers.  Rows
+  /// living in slabs pinned by a published epoch are relocated (copied)
+  /// before the repair writes them — the copy-on-write half of
+  /// snapshot_to()'s contract.
   ///
   /// `changed`, when given, is cleared and filled with one RowDelta per hub
   /// row that may have changed (see RowDelta): directly repaired rows carry
@@ -122,16 +143,46 @@ class MetricClosure {
                ShortestPathEngine* engine = nullptr, std::vector<RowDelta>* changed = nullptr);
 
   /// Drops every stored tree whose hub is not in `hubs` (kept trees stay
-  /// in slot order).  The session's repair path calls this before refresh
-  /// so hubs that churned out of the working set — an arrival stream's
-  /// stale source hubs — stop costing one repair per solve.
+  /// in slot order); freed rows return to the store for recycling.  The
+  /// session's repair path calls this before refresh so hubs that churned
+  /// out of the working set — an arrival stream's stale source hubs, minus
+  /// the session's retention window — stop costing one repair per solve.
   void retain(const std::vector<NodeId>& hubs);
+
+  /// Shares every row with `out` (an epoch snapshot): row references are
+  /// copied and each distinct slab is pinned once, so this costs O(rows),
+  /// not O(rows · V).  While the snapshot is live, this closure's
+  /// refresh/retain/build relocate instead of overwriting pinned rows —
+  /// the snapshot stays bitwise frozen at its publish generation.  Undo
+  /// with out.release_rows() (api::ClosureSession::retire).
+  void snapshot_to(MetricClosure& out) const;
+
+  /// Unpins and drops every row reference (the epoch side of the COW
+  /// handshake; also run by the destructor).  Slabs whose last reference
+  /// this was are freed; slabs shared with the live closure return to
+  /// writability once their pin count hits zero.
+  void release_rows();
 
   /// Whether this closure was built with a bounded scope (truncated trees).
   bool bounded() const noexcept { return bounded_; }
 
   /// Number of stored hub trees (diagnostics).
-  std::size_t hub_count() const noexcept { return trees_.size(); }
+  std::size_t hub_count() const noexcept { return rows_.size(); }
+
+  /// Bytes held by this closure's slabs (live rows, open slabs and free
+  /// lists; epoch snapshots share rather than double-count — each
+  /// closure's walk counts every slab it can reach exactly once).
+  std::size_t memory_bytes() const;
+
+  /// The write generation stamped on a hub's row: bumped per mutating
+  /// operation (build/extend/refresh), so an epoch snapshot's rows keep
+  /// the generation they were published at while the live closure's move
+  /// ahead — the observable face of the COW rule (tests).
+  std::uint64_t row_generation(NodeId hub) const {
+    const auto it = tree_index_.find(hub);
+    assert(it != tree_index_.end() && "node is not a hub of this closure");
+    return rows_[it->second].gen;
+  }
 
   /// Shortest-path distance from hub `from` to any node `to`.
   /// Requires `from` to be a hub.
@@ -146,15 +197,37 @@ class MetricClosure {
 
   bool is_hub(NodeId v) const { return tree_index_.contains(v); }
 
-  const ShortestPathTree& tree(NodeId hub) const {
+  /// Read view of one hub's stored tree.  The view is invalidated by the
+  /// next mutating call (build/extend/refresh/retain) — same lifetime rule
+  /// the old by-reference accessor had, now explicit in the value type.
+  ConstTreeRow tree(NodeId hub) const {
     const auto it = tree_index_.find(hub);
     assert(it != tree_index_.end() && "node is not a hub of this closure");
-    return trees_[it->second];
+    const StoredRow& row = rows_[it->second];
+    const std::int32_t* idx = row.idx.get();
+    return ConstTreeRow{row.source, row.dist.get(), idx, idx + n_, n_};
   }
 
  private:
+  /// One hub's stored tree: a dist row (possibly aliased with the hub's
+  /// zero-cost-tap host image) plus a privately owned idx row of parents
+  /// and parent edges.
+  struct StoredRow {
+    NodeId source = kInvalidNode;
+    RowStore::DistRef dist;
+    RowStore::IdxRef idx;
+    std::uint64_t gen = 0;  // write_gen_ at last content write
+  };
+
   void build_or_extend(const Graph& g, const std::vector<NodeId>& hubs, int num_threads,
                        ShortestPathEngine* engine, bool rebuild);
+
+  /// Mutable engine view of a slot's row.
+  TreeRow row_view(std::size_t slot) {
+    StoredRow& row = rows_[slot];
+    std::int32_t* idx = row.idx.get();
+    return TreeRow{row.source, row.dist.get(), idx, idx + n_, n_};
+  }
 
   /// How a slot's tree was last produced: derived from `from_hub`'s tree
   /// (its own host, or a sibling-tap representative) through the zero-cost
@@ -168,9 +241,13 @@ class MetricClosure {
     EdgeId edge = kInvalidEdge;
   };
 
-  std::vector<ShortestPathTree> trees_;
-  std::vector<DeriveMemo> derive_memo_;  // parallel to trees_
+  RowStore store_;
+  std::vector<StoredRow> rows_;
+  std::vector<DeriveMemo> derive_memo_;  // parallel to rows_
   std::unordered_map<NodeId, std::size_t> tree_index_;
+  std::size_t n_ = 0;          // node count the rows cover
+  std::uint64_t write_gen_ = 0;  // bumped by every mutating operation
+  bool pinned_ = false;        // populated by snapshot_to: rows hold slab pins
   bool bounded_ = false;
   std::vector<NodeId> settle_targets_;  // bounded builds: hubs ∪ extra targets
 };

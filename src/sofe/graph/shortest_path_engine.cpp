@@ -129,10 +129,23 @@ const ShortestPathTree& ShortestPathEngine::run_impl(NodeId source, NodeId targe
 
 void ShortestPathEngine::run_into(NodeId source, ShortestPathTree& out,
                                   std::span<const NodeId> stop_targets) {
+  const auto n = static_cast<std::size_t>(g_->node_count());
+  out.source = source;
+  out.dist.resize(n);
+  out.parent.resize(n);
+  out.parent_edge.resize(n);
+  run_into(source,
+           TreeRow{source, out.dist.data(), out.parent.data(), out.parent_edge.data(), n},
+           stop_targets);
+}
+
+void ShortestPathEngine::run_into(NodeId source, TreeRow out,
+                                  std::span<const NodeId> stop_targets) {
   assert(g_ != nullptr && "engine is not attached to a graph");
   assert(g_->valid_node(source));
   const CsrView& csr = g_->csr();
   const auto n = static_cast<std::size_t>(g_->node_count());
+  assert(out.n == n && "row view must cover the whole graph");
 
   std::size_t pending = stop_targets.empty() ? 0 : mark_targets(stop_targets);
 
@@ -161,11 +174,7 @@ void ShortestPathEngine::run_into(NodeId source, ShortestPathTree& out,
   }
   if (!stop_targets.empty()) clear_targets(stop_targets);
 
-  // Unpack the packed labels into the tree layout in one sequential sweep.
-  out.source = source;
-  out.dist.resize(n);
-  out.parent.resize(n);
-  out.parent_edge.resize(n);
+  // Unpack the packed labels into the row layout in one sequential sweep.
   for (std::size_t i = 0; i < n; ++i) {
     out.dist[i] = labels_[i].dist;
     out.parent[i] = labels_[i].parent;
@@ -176,10 +185,20 @@ void ShortestPathEngine::run_into(NodeId source, ShortestPathTree& out,
 ShortestPathEngine::RepairStats ShortestPathEngine::repair(ShortestPathTree& tree,
                                                            std::span<const EdgeCostDelta> deltas,
                                                            std::vector<NodeId>* touched_out) {
+  assert(tree.dist.size() == static_cast<std::size_t>(g_->node_count()) &&
+         "repair requires a complete tree over the attached graph");
+  return repair(TreeRow{tree.source, tree.dist.data(), tree.parent.data(),
+                        tree.parent_edge.data(), tree.dist.size()},
+                deltas, touched_out);
+}
+
+ShortestPathEngine::RepairStats ShortestPathEngine::repair(TreeRow tree,
+                                                           std::span<const EdgeCostDelta> deltas,
+                                                           std::vector<NodeId>* touched_out) {
   assert(g_ != nullptr && "engine is not attached to a graph");
   const CsrView& csr = g_->csr();  // also refreshes cached costs after set_edge_cost
   const auto n = static_cast<std::size_t>(g_->node_count());
-  assert(tree.dist.size() == n && "repair requires a complete tree over the attached graph");
+  assert(tree.n == n && "repair requires a complete tree over the attached graph");
   assert(g_->valid_node(tree.source));
   assert(tree.dist[static_cast<std::size_t>(tree.source)] == 0.0);
 

@@ -101,6 +101,12 @@ class ShortestPathEngine {
   /// MetricClosure builds); truncated trees are NOT repairable.
   void run_into(NodeId source, ShortestPathTree& out, std::span<const NodeId> stop_targets = {});
 
+  /// run_into writing through a raw row view (slab-backed closure storage,
+  /// DESIGN.md §13).  `out` must view exactly node_count() entries; the
+  /// caller records `source` itself (the view's own source field is not
+  /// consulted).  Bit-identical to the ShortestPathTree overload.
+  void run_into(NodeId source, TreeRow out, std::span<const NodeId> stop_targets = {});
+
   /// Per-repair effect counters (diagnostics; tests, the repair-vs-
   /// rebuild heuristics and the pricing-cache invalidation consume them).
   struct RepairStats {
@@ -141,6 +147,13 @@ class ShortestPathEngine {
   /// (stats.fell_back), the list is NOT filled — treat every entry as
   /// changed.
   RepairStats repair(ShortestPathTree& tree, std::span<const EdgeCostDelta> deltas,
+                     std::vector<NodeId>* touched_out = nullptr);
+
+  /// repair over a raw row view; `tree.source` must be set and the view
+  /// must cover exactly node_count() entries.  Same contract and
+  /// bit-identity guarantee as the ShortestPathTree overload (which now
+  /// wraps this one).
+  RepairStats repair(TreeRow tree, std::span<const EdgeCostDelta> deltas,
                      std::vector<NodeId>* touched_out = nullptr);
 
   /// Multi-source Dijkstra (Mehlhorn's Voronoi partition).  Duplicate

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -49,6 +50,14 @@ void validate(const OnlineConfig& cfg) {
     fail("recovery.migration_cost_weight must be >= 0 (got " +
          std::to_string(cfg.recovery.migration_cost_weight) + ")");
   }
+  if (cfg.source_pool != 0 && cfg.source_pool < cfg.max_sources) {
+    fail("source_pool must be 0 (off) or >= max_sources (got " +
+         std::to_string(cfg.source_pool) + " with max_sources " +
+         std::to_string(cfg.max_sources) + ")");
+  }
+  if (cfg.source_alpha < 0.0) {
+    fail("source_alpha must be >= 0 (got " + std::to_string(cfg.source_alpha) + ")");
+  }
 }
 
 ArrivalStream::ArrivalStream(const topology::Topology& topo, const OnlineConfig& cfg)
@@ -88,19 +97,62 @@ ArrivalStream::ArrivalStream(const topology::Topology& topo, const OnlineConfig&
   // SoftLayer setting of up to 17 destinations plus 12 sources does not fit
   // 27 nodes otherwise).
   util::Rng rng(cfg.seed ^ 0x0427);
+
+  // Recurring-source mode (DESIGN.md §13): one source pool for the whole
+  // stream, drawn before any request so the off path (source_pool == 0)
+  // consumes the RNG stream exactly as pre-pool builds did — the sampled
+  // sequence is then byte-identical (pinned by tests).  Pool member at
+  // popularity rank r carries Zipf-like weight 1/(r+1)^alpha; `cum` holds
+  // the cumulative weights the per-request inverse-CDF draw searches.
+  std::vector<NodeId> pool;
+  std::vector<double> cum;
+  if (cfg.source_pool > 0) {
+    const auto pick = rng.sample_without_replacement(
+        static_cast<std::size_t>(n_access_),
+        static_cast<std::size_t>(std::min(cfg.source_pool, static_cast<int>(n_access_))));
+    pool.assign(pick.begin(), pick.end());
+    cum.reserve(pool.size());
+    double total = 0.0;
+    for (std::size_t rank = 0; rank < pool.size(); ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank + 1), cfg.source_alpha);
+      cum.push_back(total);
+    }
+  }
+
   requests_.reserve(static_cast<std::size_t>(cfg.requests));
+  std::vector<char> used(pool.size(), 0);
   for (int r = 0; r < cfg.requests; ++r) {
     const int n_dst = rng.uniform_int(cfg.min_destinations, cfg.max_destinations);
     const int n_src = rng.uniform_int(cfg.min_sources, cfg.max_sources);
     const auto dst_pick = rng.sample_without_replacement(
         static_cast<std::size_t>(n_access_),
         static_cast<std::size_t>(std::min(n_dst, static_cast<int>(n_access_))));
-    const auto src_pick = rng.sample_without_replacement(
-        static_cast<std::size_t>(n_access_),
-        static_cast<std::size_t>(std::min(n_src, static_cast<int>(n_access_))));
     Request req;
-    req.sources.assign(src_pick.begin(), src_pick.end());
     req.destinations.assign(dst_pick.begin(), dst_pick.end());
+    if (pool.empty()) {
+      const auto src_pick = rng.sample_without_replacement(
+          static_cast<std::size_t>(n_access_),
+          static_cast<std::size_t>(std::min(n_src, static_cast<int>(n_access_))));
+      req.sources.assign(src_pick.begin(), src_pick.end());
+    } else {
+      // Inverse-CDF draw without replacement: land on a rank via the
+      // cumulative weights, and on a duplicate scan forward (wrapping) to
+      // the next untaken rank — deterministic in the RNG stream, and every
+      // draw terminates because want <= pool size.
+      const std::size_t want = static_cast<std::size_t>(
+          std::min(n_src, static_cast<int>(pool.size())));
+      std::fill(used.begin(), used.end(), 0);
+      req.sources.reserve(want);
+      while (req.sources.size() < want) {
+        const double u = rng.uniform(0.0, cum.back());
+        std::size_t i = static_cast<std::size_t>(
+            std::upper_bound(cum.begin(), cum.end(), u) - cum.begin());
+        if (i >= pool.size()) i = pool.size() - 1;
+        while (used[i] != 0) i = (i + 1) % pool.size();
+        used[i] = 1;
+        req.sources.push_back(pool[i]);
+      }
+    }
     requests_.push_back(std::move(req));
   }
 

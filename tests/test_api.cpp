@@ -582,4 +582,138 @@ TEST(SolverOptions, RoundTripsThroughAlgoOptions) {
   EXPECT_EQ(back.steiner, o.steiner);
 }
 
+// --- Steady-state closure engine (DESIGN.md §13) --------------------------
+
+TEST(CowPublish, EpochStaysBitwiseFrozenWhileTheLiveClosureRepairs) {
+  auto g = quickstart_instance().network;
+  const std::vector<NodeId> hubs{0, 5, 2};
+  api::ClosureSession session;
+  api::ClosureRequest req;
+  api::SolveReport rep;
+
+  const api::ClosureEpoch epoch = session.publish(g, hubs, req, rep);
+  ASSERT_NE(epoch.closure, nullptr);
+  const auto before = epoch.closure->tree(0).materialize();
+  const core::Cost* epoch_dist = epoch.closure->tree(0).dist;
+  const std::uint64_t epoch_gen = epoch.closure->row_generation(0);
+
+  // Publishing shares row slabs, it does not deep-copy: the live closure's
+  // row for hub 0 is the very same memory the epoch reads.
+  api::SolveReport hit_rep;
+  const graph::MetricClosure& live = session.acquire(g, hubs, req, hit_rep);
+  EXPECT_TRUE(hit_rep.closure_cache_hit);
+  EXPECT_EQ(live.tree(0).dist, epoch_dist);
+
+  // A cost move dirties hub 0's tree; the live session repairs.  The
+  // epoch pins its slabs, so the repair relocates the row (copy-on-write)
+  // instead of overwriting what the epoch's readers see.
+  g.set_edge_cost(g.find_edge(0, 1), 10.0);
+  api::SolveReport repair_rep;
+  session.acquire(g, hubs, req, repair_rep);
+  ASSERT_TRUE(repair_rep.closure_repaired);
+  EXPECT_NE(live.tree(0).dist, epoch_dist);
+  EXPECT_NE(live.tree(0).materialize().dist, before.dist);
+
+  // The published face is untouched: same memory, same values, still the
+  // publish-time write generation — while the live row moved ahead.
+  EXPECT_EQ(epoch.closure->tree(0).dist, epoch_dist);
+  const auto after = epoch.closure->tree(0).materialize();
+  EXPECT_EQ(after.dist, before.dist);
+  EXPECT_EQ(after.parent, before.parent);
+  EXPECT_EQ(after.parent_edge, before.parent_edge);
+  EXPECT_EQ(epoch.closure->row_generation(0), epoch_gen);
+  EXPECT_GT(live.row_generation(0), epoch_gen);
+
+  session.retire();
+}
+
+TEST(CowPublish, RetireUnpinsSlabsAndRepairsGoBackInPlace) {
+  auto g = quickstart_instance().network;
+  const std::vector<NodeId> hubs{0, 5};
+  api::ClosureSession session;
+  api::ClosureRequest req;
+  api::SolveReport rep;
+
+  const graph::MetricClosure& live = session.acquire(g, hubs, req, rep);
+  const core::Cost* row0 = live.tree(0).dist;
+
+  // Nothing pinned: a repair writes the row in place (no allocation).
+  g.set_edge_cost(g.find_edge(0, 1), 5.0);
+  api::SolveReport r1;
+  session.acquire(g, hubs, req, r1);
+  ASSERT_TRUE(r1.closure_repaired);
+  EXPECT_EQ(live.tree(0).dist, row0);
+
+  // Published epoch: its pin forces the next repair to relocate.
+  const api::ClosureEpoch epoch = session.publish(g, hubs, req, rep);
+  g.set_edge_cost(g.find_edge(0, 1), 7.0);
+  api::SolveReport r2;
+  session.acquire(g, hubs, req, r2);
+  ASSERT_TRUE(r2.closure_repaired);
+  const core::Cost* relocated = live.tree(0).dist;
+  EXPECT_NE(relocated, row0);
+  EXPECT_EQ(epoch.closure->tree(0).dist, row0);
+
+  // Retire drops the snapshot's rows and unpins its slabs; with the pin
+  // gone, repairs are in place again (the pipeline retires before each
+  // publish for exactly this reason).
+  session.retire();
+  EXPECT_EQ(epoch.closure->hub_count(), 0u);
+  g.set_edge_cost(g.find_edge(0, 1), 9.0);
+  api::SolveReport r3;
+  session.acquire(g, hubs, req, r3);
+  ASSERT_TRUE(r3.closure_repaired);
+  EXPECT_EQ(live.tree(0).dist, relocated);
+}
+
+TEST(RetentionWindow, LruKeepsRecentRowsEvictsOldestAndCapsAtTheWindow) {
+  auto g = quickstart_instance().network;
+  api::ClosureSession session;
+  api::ClosureRequest req;
+  req.retention = 1;
+
+  api::SolveReport cold;
+  session.acquire(g, {0}, req, cold);  // cold rebuild: nothing retained yet
+
+  api::SolveReport second;
+  session.acquire(g, {5}, req, second);  // extends 5, retains 0 (window cap 1)
+  EXPECT_EQ(second.closure_row_hits, 0);
+  EXPECT_EQ(second.closure_rows_retained, 1);
+  EXPECT_EQ(second.closure_rows_evicted, 0);
+
+  api::SolveReport third;
+  session.acquire(g, {7}, req, third);  // retains 5 (most recent), evicts 0
+  EXPECT_EQ(third.closure_row_hits, 0);
+  EXPECT_EQ(third.closure_rows_retained, 1);
+  EXPECT_EQ(third.closure_rows_evicted, 1);
+
+  api::SolveReport returning;
+  session.acquire(g, {5}, req, returning);  // 5 was kept warm: a row hit
+  EXPECT_EQ(returning.closure_row_hits, 1);
+
+  api::SolveReport evicted;
+  session.acquire(g, {0}, req, evicted);  // 0 fell out of the window: cold
+  EXPECT_EQ(evicted.closure_row_hits, 0);
+}
+
+TEST(RetentionWindow, ZeroRetentionKeepsStrictRequestRows) {
+  auto g = quickstart_instance().network;
+  api::ClosureSession session;
+  api::ClosureRequest req;  // retention = 0
+
+  api::SolveReport first;
+  const graph::MetricClosure& live = session.acquire(g, {0}, req, first);
+
+  api::SolveReport second;
+  session.acquire(g, {5}, req, second);
+  EXPECT_EQ(second.closure_rows_retained, 0);
+  EXPECT_EQ(second.closure_rows_evicted, 1);
+  EXPECT_FALSE(live.is_hub(0));
+  EXPECT_TRUE(live.is_hub(5));
+
+  api::SolveReport back;
+  session.acquire(g, {0}, req, back);  // dropped, so no warm row to hit
+  EXPECT_EQ(back.closure_row_hits, 0);
+}
+
 }  // namespace

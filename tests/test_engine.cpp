@@ -299,10 +299,12 @@ TEST(MetricClosureThreads, BitIdenticalForAnyThreadCount) {
     const MetricClosure par(g, hubs, threads);
     for (NodeId h : hubs) {
       ASSERT_TRUE(par.is_hub(h));
-      EXPECT_EQ(par.tree(h).source, solo.tree(h).source);
-      EXPECT_EQ(par.tree(h).dist, solo.tree(h).dist);          // bitwise doubles
-      EXPECT_EQ(par.tree(h).parent, solo.tree(h).parent);
-      EXPECT_EQ(par.tree(h).parent_edge, solo.tree(h).parent_edge);
+      const ShortestPathTree p = par.tree(h).materialize();
+      const ShortestPathTree s = solo.tree(h).materialize();
+      EXPECT_EQ(p.source, s.source);
+      EXPECT_EQ(p.dist, s.dist);          // bitwise doubles
+      EXPECT_EQ(p.parent, s.parent);
+      EXPECT_EQ(p.parent_edge, s.parent_edge);
     }
   }
 }
@@ -324,10 +326,11 @@ TEST(MetricClosure, TapDerivedTreesBitIdenticalToFullRuns) {
   const MetricClosure mc(g, hubs, 1);
   for (NodeId h : hubs) {
     const auto full = dijkstra(g, h);
-    EXPECT_EQ(mc.tree(h).source, h);
-    EXPECT_EQ(mc.tree(h).dist, full.dist);
-    EXPECT_EQ(mc.tree(h).parent, full.parent);
-    EXPECT_EQ(mc.tree(h).parent_edge, full.parent_edge);
+    const ShortestPathTree got = mc.tree(h).materialize();
+    EXPECT_EQ(got.source, h);
+    EXPECT_EQ(got.dist, full.dist);
+    EXPECT_EQ(got.parent, full.parent);
+    EXPECT_EQ(got.parent_edge, full.parent_edge);
   }
 }
 
@@ -357,9 +360,11 @@ TEST(MetricClosureThreads, TapDerivationBitIdenticalAcrossThreads) {
   const MetricClosure solo(g, hubs, 1);
   const MetricClosure par(g, hubs, 4);
   for (NodeId h : hubs) {
-    EXPECT_EQ(par.tree(h).dist, solo.tree(h).dist);
-    EXPECT_EQ(par.tree(h).parent, solo.tree(h).parent);
-    EXPECT_EQ(par.tree(h).parent_edge, solo.tree(h).parent_edge);
+    const ShortestPathTree p = par.tree(h).materialize();
+    const ShortestPathTree s = solo.tree(h).materialize();
+    EXPECT_EQ(p.dist, s.dist);
+    EXPECT_EQ(p.parent, s.parent);
+    EXPECT_EQ(p.parent_edge, s.parent_edge);
   }
 }
 
@@ -621,7 +626,7 @@ TEST(MetricClosureRefresh, RowDeltasCoverEveryChangedRow) {
 
   for (int round = 0; round < 6; ++round) {
     std::map<NodeId, ShortestPathTree> before;
-    for (NodeId h : hubs) before.emplace(h, closure.tree(h));
+    for (NodeId h : hubs) before.emplace(h, closure.tree(h).materialize());
 
     std::vector<EdgeCostDelta> deltas;
     for (int i = 0; i < 7; ++i) {
@@ -640,7 +645,7 @@ TEST(MetricClosureRefresh, RowDeltasCoverEveryChangedRow) {
 
     for (NodeId h : hubs) {
       const ShortestPathTree& old_tree = before.at(h);
-      const ShortestPathTree& new_tree = closure.tree(h);
+      const ConstTreeRow new_tree = closure.tree(h);
       const MetricClosure::RowDelta* row = nullptr;
       for (const auto& r : rows) {
         if (r.hub == h) row = &r;
@@ -721,9 +726,11 @@ TEST(MetricClosureRefresh, RepairedTreesBitIdenticalToRebuild) {
     closure.refresh(g, deltas, threads);
     const MetricClosure fresh(g, hubs, 1);
     for (NodeId h : hubs) {
-      ASSERT_EQ(closure.tree(h).dist, fresh.tree(h).dist) << "round " << round;
-      ASSERT_EQ(closure.tree(h).parent, fresh.tree(h).parent) << "round " << round;
-      ASSERT_EQ(closure.tree(h).parent_edge, fresh.tree(h).parent_edge) << "round " << round;
+      const ShortestPathTree got = closure.tree(h).materialize();
+      const ShortestPathTree want = fresh.tree(h).materialize();
+      ASSERT_EQ(got.dist, want.dist) << "round " << round;
+      ASSERT_EQ(got.parent, want.parent) << "round " << round;
+      ASSERT_EQ(got.parent_edge, want.parent_edge) << "round " << round;
     }
   }
 }
@@ -740,9 +747,9 @@ TEST(MetricClosureRetain, EvictsExactlyTheUnlistedHubs) {
   EXPECT_FALSE(closure.is_hub(9));
   // Survivors are untouched, and the closure extends/refreshes normally.
   const auto full = dijkstra(g, 4);
-  EXPECT_EQ(closure.tree(4).dist, full.dist);
+  EXPECT_EQ(closure.tree(4).materialize().dist, full.dist);
   closure.extend(g, {9});
-  EXPECT_EQ(closure.tree(9).dist, dijkstra(g, 9).dist);
+  EXPECT_EQ(closure.tree(9).materialize().dist, dijkstra(g, 9).dist);
 }
 
 TEST(MetricClosureExtend, GrownClosureMatchesOneShotBuildPerTree) {
@@ -766,9 +773,11 @@ TEST(MetricClosureExtend, GrownClosureMatchesOneShotBuildPerTree) {
   const MetricClosure oneshot(g, all, 1);
   EXPECT_EQ(grown.hub_count(), oneshot.hub_count());
   for (NodeId h : all) {
-    ASSERT_EQ(grown.tree(h).dist, oneshot.tree(h).dist);
-    ASSERT_EQ(grown.tree(h).parent, oneshot.tree(h).parent);
-    ASSERT_EQ(grown.tree(h).parent_edge, oneshot.tree(h).parent_edge);
+    const ShortestPathTree got = grown.tree(h).materialize();
+    const ShortestPathTree want = oneshot.tree(h).materialize();
+    ASSERT_EQ(got.dist, want.dist);
+    ASSERT_EQ(got.parent, want.parent);
+    ASSERT_EQ(got.parent_edge, want.parent_edge);
   }
 }
 

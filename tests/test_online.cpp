@@ -4,12 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <stdexcept>
+
 #include "sofe/api/registry.hpp"
 #include "sofe/api/report.hpp"
 #include "sofe/baselines/baselines.hpp"
 #include "sofe/core/sofda.hpp"
 #include "sofe/core/validate.hpp"
 #include "sofe/online/simulator.hpp"
+#include "sofe/online/stream.hpp"
 
 namespace sofe::online {
 namespace {
@@ -210,6 +214,83 @@ TEST(OnlineDepartures, ChargesAreRestoredWhenRequestsDepart) {
   auto ref = held;
   ref.copy_problems = true;
   expect_results_identical(churn, simulate(topo, ref, "SOFDA", sofda_fn()));
+}
+
+// --- Recurring-source mode (DESIGN.md §13) -------------------------------
+
+TEST(RecurringSources, ValidationNamesTheOffendingField) {
+  auto cfg = small_config();
+  cfg.source_pool = 2;  // < max_sources: a request could not fill its draw
+  EXPECT_THROW(validate(cfg), std::invalid_argument);
+  cfg.source_pool = -3;
+  EXPECT_THROW(validate(cfg), std::invalid_argument);
+  cfg.source_pool = cfg.max_sources;
+  EXPECT_NO_THROW(validate(cfg));
+  cfg.source_alpha = -0.1;
+  EXPECT_THROW(validate(cfg), std::invalid_argument);
+}
+
+TEST(RecurringSources, EveryDrawStaysInsideOnePoolOfDistinctNodes) {
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 30;
+  cfg.source_pool = 5;
+  cfg.source_alpha = 1.0;
+  const ArrivalStream stream(topo, cfg);
+  std::set<core::NodeId> all_sources;
+  for (int r = 0; r < cfg.requests; ++r) {
+    const Request& req = stream.request(r);
+    const std::set<core::NodeId> distinct(req.sources.begin(), req.sources.end());
+    EXPECT_EQ(distinct.size(), req.sources.size()) << "duplicate source in request " << r;
+    EXPECT_GE(static_cast<int>(req.sources.size()), cfg.min_sources);
+    EXPECT_LE(static_cast<int>(req.sources.size()), cfg.max_sources);
+    all_sources.insert(distinct.begin(), distinct.end());
+    // Destinations still roam the whole topology, pool or not.
+    EXPECT_LE(static_cast<int>(req.destinations.size()), cfg.max_destinations);
+  }
+  // 30 requests of 2-3 sources land inside the 5-node pool — the working
+  // set the retention window keeps warm.
+  EXPECT_LE(all_sources.size(), static_cast<std::size_t>(cfg.source_pool));
+
+  // Same seed, same sequence: the pool draw is part of the RNG stream.
+  const ArrivalStream again(topo, cfg);
+  for (int r = 0; r < cfg.requests; ++r) {
+    EXPECT_EQ(stream.request(r).sources, again.request(r).sources);
+    EXPECT_EQ(stream.request(r).destinations, again.request(r).destinations);
+  }
+}
+
+TEST(RecurringSources, RetentionTurnsReturningSourcesIntoRowHits) {
+  // The steady-state claim (DESIGN.md §13): with sources recurring from a
+  // fixed pool, the retention window serves returning hubs from warm rows
+  // — visible as closure_row_hits — while retention 0 never does; and the
+  // window is a pure speed knob, so both series are bitwise identical.
+  const auto topo = topology::softlayer();
+  auto cfg = small_config();
+  cfg.requests = 24;
+  cfg.holding_arrivals = 4;
+  cfg.source_pool = 6;
+  cfg.source_alpha = 1.0;
+
+  api::SolverOptions warm_opt;  // default retention_rows = 256
+  auto warm_solver = api::make_solver("sofda", warm_opt);
+  api::ReportAccumulator warm;
+  warm_solver->set_report_sink(&warm);
+  const auto warm_series = simulate(topo, cfg, *warm_solver);
+
+  api::SolverOptions cold_opt;
+  cold_opt.retention_rows = 0;
+  auto cold_solver = api::make_solver("sofda", cold_opt);
+  api::ReportAccumulator cold;
+  cold_solver->set_report_sink(&cold);
+  const auto cold_series = simulate(topo, cfg, *cold_solver);
+
+  expect_results_identical(warm_series, cold_series);
+  EXPECT_GT(warm.closure_row_hits(), 0u);
+  EXPECT_GT(warm.closure_rows_retained(), 0u);
+  EXPECT_EQ(cold.closure_row_hits(), 0u);
+  EXPECT_EQ(cold.closure_rows_retained(), 0u);
+  EXPECT_GT(warm.peak_closure_bytes(), 0u);
 }
 
 }  // namespace

@@ -73,6 +73,47 @@ TEST(PipelineDeterminism, MatchesSequentialDriverAcrossWorkersEpochsHolding) {
   }
 }
 
+// PR 9's knob contract (DESIGN.md §13): the LRU row-retention window is —
+// like threads, workers and epoch size — a pure speed/memory knob.  The
+// fuzz drives the steady-state scenario where the window actually engages
+// (sources recurring from a fixed Zipf-ish pool, departures churning the
+// ledger both ways) across retention {off, tiny, default} × closure
+// threads × pipeline workers on two topologies, and demands every series
+// bitwise equal to the plain-defaults sequential reference.
+TEST(PipelineDeterminism, RetentionWindowIsAPureSpeedKnobAcrossThreadsAndWorkers) {
+  const topology::Topology topos[] = {topology::softlayer(), topology::inet(40, 80, 8, 7)};
+  for (const auto& topo : topos) {
+    for (int holding : {0, 8}) {
+      auto cfg = pipeline_config();
+      cfg.holding_arrivals = holding;
+      cfg.epoch_size = 4;
+      cfg.source_pool = 6;
+      cfg.source_alpha = 1.0;
+      const OnlineResult ref = sequential_reference(topo, cfg);
+      for (int retention : {0, 8, 256}) {
+        api::SolverOptions opt;
+        opt.retention_rows = retention;
+        for (int threads : {1, 2, 8}) {
+          opt.threads = threads;
+          auto solver = api::make_solver("sofda", opt);
+          SCOPED_TRACE(topo.name + " holding=" + std::to_string(holding) +
+                       " retention=" + std::to_string(retention) +
+                       " threads=" + std::to_string(threads));
+          expect_series_identical(ref, simulate(topo, cfg, *solver));
+        }
+        for (int workers : {1, 2, 8}) {
+          PipelineOptions popt;
+          popt.workers = workers;
+          SCOPED_TRACE(topo.name + " holding=" + std::to_string(holding) +
+                       " retention=" + std::to_string(retention) +
+                       " workers=" + std::to_string(workers));
+          expect_series_identical(ref, serve_pipelined(topo, cfg, "sofda", opt, popt));
+        }
+      }
+    }
+  }
+}
+
 // online::simulate re-expressed: at epoch_size 1 the sequential driver IS
 // the historical per-arrival loop (pinned against the free function), and
 // the 1-worker pipeline reproduces it through the full publish/commit
