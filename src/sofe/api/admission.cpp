@@ -1,0 +1,167 @@
+#include "sofe/online/admission.hpp"
+
+// Admission policies (DESIGN.md §14).  Lives in api/ alongside the solver
+// registry whose option-string conventions the spec parser follows — the
+// same layering as pipeline.cpp (declared in online/, implemented here).
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace sofe::online {
+
+namespace {
+
+using graph::Cost;
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("admission policy: " + what);
+}
+
+/// Parses the value of "<key>=<float>" with the registry's strictness:
+/// full consumption (trailing junk throws), finite, nonnegative.
+double parse_value(std::string_view key, std::string_view text) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    bad_spec(std::string(key) + " must be a number (got \"" + std::string(text) + "\")");
+  }
+  if (value < 0.0) {
+    bad_spec(std::string(key) + " must be >= 0 (got " + std::string(text) + ")");
+  }
+  return value;
+}
+
+class GreedyPolicy final : public AdmissionPolicy {
+ public:
+  std::string_view name() const noexcept override { return "greedy"; }
+  void decide(const std::vector<AdmissionCandidate>& batch,
+              std::vector<char>& intent) const override {
+    intent.assign(batch.size(), 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      intent[i] = batch[i].feasible ? 1 : 0;
+    }
+  }
+};
+
+class ThresholdPricePolicy final : public AdmissionPolicy {
+ public:
+  explicit ThresholdPricePolicy(double theta)
+      : theta_(theta), name_("threshold-price,theta=" + std::to_string(theta)) {}
+  std::string_view name() const noexcept override { return name_; }
+  void decide(const std::vector<AdmissionCandidate>& batch,
+              std::vector<char>& intent) const override {
+    intent.assign(batch.size(), 0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const AdmissionCandidate& c = batch[i];
+      // Congestion surcharge test: the Fortz-Thorup price of an embedding
+      // at the CURRENT loads against the same embedding on an empty
+      // network.  The ratio is >= 1 (the cost function is increasing in
+      // load), so theta >= 1 admits every uncongested arrival and the knob
+      // tightens monotonically: a smaller theta never admits an arrival a
+      // larger theta rejected (tested).  A zero-cost embedding (possible
+      // at demand 0) is free congestion-wise and always passes.
+      intent[i] = c.feasible && c.marginal_cost <= theta_ * c.uncongested_cost ? 1 : 0;
+      if (c.feasible && c.marginal_cost <= 0.0) intent[i] = 1;
+    }
+  }
+
+ private:
+  double theta_;
+  std::string name_;
+};
+
+class RejectCostliestPolicy final : public AdmissionPolicy {
+ public:
+  explicit RejectCostliestPolicy(double budget)
+      : budget_(budget), name_("reject-costliest,budget=" + std::to_string(budget)) {}
+  std::string_view name() const noexcept override { return name_; }
+  void decide(const std::vector<AdmissionCandidate>& batch,
+              std::vector<char>& intent) const override {
+    // Budgeted batch admission: rank the epoch's feasible arrivals by
+    // marginal cost (ties broken by slot, so the order is total and the
+    // decision deterministic) and admit cheapest-first while the batch's
+    // running admitted cost stays within the budget.  Nothing is preempted:
+    // arrivals admitted in earlier epochs are untouchable, and the budget
+    // resets every epoch.  At epoch_size 1 this degenerates to "admit iff
+    // the single arrival costs at most the budget".
+    intent.assign(batch.size(), 0);
+    std::vector<std::size_t> order(batch.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (batch[a].marginal_cost != batch[b].marginal_cost) {
+        return batch[a].marginal_cost < batch[b].marginal_cost;
+      }
+      return batch[a].slot < batch[b].slot;
+    });
+    Cost spent = 0.0;
+    for (const std::size_t i : order) {
+      if (!batch[i].feasible) continue;
+      if (spent + batch[i].marginal_cost > budget_) continue;
+      spent += batch[i].marginal_cost;
+      intent[i] = 1;
+    }
+  }
+
+ private:
+  double budget_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionPolicy> make_admission_policy(std::string_view spec) {
+  constexpr std::string_view kPrefix = "admission/";
+  if (spec.starts_with(kPrefix)) spec.remove_prefix(kPrefix.size());
+
+  const std::size_t comma = spec.find(',');
+  const std::string_view policy = spec.substr(0, comma);
+  std::string_view params =
+      comma == std::string_view::npos ? std::string_view{} : spec.substr(comma + 1);
+
+  const bool greedy = policy == "greedy";
+  const bool threshold = policy == "threshold-price";
+  const bool costliest = policy == "reject-costliest";
+  if (!greedy && !threshold && !costliest) {
+    bad_spec("unknown policy \"" + std::string(policy) +
+             "\" (valid: greedy, threshold-price, reject-costliest)");
+  }
+  if (greedy && !params.empty()) {
+    bad_spec("greedy takes no parameters (got \"" + std::string(params) + "\")");
+  }
+
+  double theta = 2.0;
+  double budget = std::numeric_limits<double>::infinity();
+  bool theta_set = false, budget_set = false;
+  while (!params.empty()) {
+    const std::size_t next = params.find(',');
+    const std::string_view field = params.substr(0, next);
+    params = next == std::string_view::npos ? std::string_view{} : params.substr(next + 1);
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      bad_spec("expected <key>=<value>, got \"" + std::string(field) + "\"");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (threshold && key == "theta") {
+      if (theta_set) bad_spec("duplicate key theta");
+      theta = parse_value(key, value);
+      theta_set = true;
+    } else if (costliest && key == "budget") {
+      if (budget_set) bad_spec("duplicate key budget");
+      budget = parse_value(key, value);
+      budget_set = true;
+    } else {
+      bad_spec("unknown key \"" + std::string(key) + "\" for policy " + std::string(policy));
+    }
+  }
+
+  if (threshold) return std::make_unique<ThresholdPricePolicy>(theta);
+  if (costliest) return std::make_unique<RejectCostliestPolicy>(budget);
+  return std::make_unique<GreedyPolicy>();
+}
+
+}  // namespace sofe::online

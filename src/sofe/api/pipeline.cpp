@@ -338,6 +338,16 @@ OnlineResult Pipeline::Impl::run() {
       result.publish_seconds += publish_watch.seconds();
     }
 
+    // Collect the whole epoch's results (in arrival order), then commit
+    // the batch through the same ArrivalStream::commit_epoch the sequential
+    // driver uses — admission decisions, departures and ledger evolution
+    // are shared code, so the two drivers cannot drift (DESIGN.md §14).
+    // Workers never read the ledger, so batching the commit changes nothing
+    // they observe.
+    std::vector<Slot> epoch_slots;
+    std::vector<ServiceForest> forests;
+    epoch_slots.reserve(static_cast<std::size_t>(count));
+    forests.reserve(static_cast<std::size_t>(count));
     for (int r = first; r < first + count; ++r) {
       Slot s;
       {
@@ -351,21 +361,32 @@ OnlineResult Pipeline::Impl::run() {
       // The slot survived every stale scan since it was priced, so its
       // result is bitwise what a fresh solve at this generation returns.
       if (s.priced_generation < generation) ++speculative_commits;
+      forests.push_back(std::move(s.forest));
+      epoch_slots.push_back(std::move(s));
+    }
+    if (failure) break;
 
-      const util::Stopwatch commit_watch;
-      const Cost cost = stream.commit(r, s.forest);
-      if (s.forest.empty()) {
-        ++result.infeasible_requests;
-      } else {
-        accumulated += cost;
-      }
-      result.per_request_cost.push_back(s.forest.empty() ? 0.0 : cost);
+    const util::Stopwatch commit_watch;
+    const auto outcomes = stream.commit_epoch(first, forests);
+    // The sink keeps its one-commit-sample-per-arrival shape: the epoch's
+    // commit wall time is split evenly across its slots.
+    const double commit_share =
+        count > 0 ? commit_watch.seconds() / static_cast<double>(count) : 0.0;
+    for (int i = 0; i < count; ++i) {
+      const SlotOutcome& out = outcomes[static_cast<std::size_t>(i)];
+      const Slot& s = epoch_slots[static_cast<std::size_t>(i)];
+      const bool admitted = out.status == SlotOutcome::Status::kAdmitted;
+      if (out.status == SlotOutcome::Status::kInfeasible) ++result.infeasible_requests;
+      if (admitted) accumulated += out.cost;
+      result.per_request_cost.push_back(admitted ? out.cost : 0.0);
       result.accumulative_cost.push_back(accumulated);
-      result.arrival_seconds[static_cast<std::size_t>(r)] = s.solve_seconds;
+      result.accepted.push_back(admitted ? 1 : 0);
+      result.decision_utilization.push_back(out.decision_utilization);
+      result.arrival_seconds[static_cast<std::size_t>(first + i)] = s.solve_seconds;
       if (sink != nullptr) {
         sink->add(s.report);
         sink->add_queue_wait(s.queue_seconds);
-        sink->add_commit(commit_watch.seconds());
+        sink->add_commit(commit_share);
       }
     }
     first += count;
@@ -380,14 +401,13 @@ OnlineResult Pipeline::Impl::run() {
   if (use_epoch) publisher.retire();
   if (failure) std::rethrow_exception(failure);
 
-  result.overloaded_links = stream.overloaded_links();
+  stream.finish(result);
   result.stale_repriced = stale_repriced;
   result.speculative_commits = speculative_commits;
   result.closure_row_hits = pub_row_hits;
   result.closure_rows_retained = pub_rows_retained;
   result.closure_rows_evicted = pub_rows_evicted;
   result.peak_closure_bytes = pub_peak_bytes;
-  result.recoveries = stream.recoveries();
   return result;
 }
 

@@ -2,9 +2,22 @@
 // Load bookkeeping for online deployment (Sections VII-B, VIII-C): tracks
 // per-link bandwidth and per-DC host utilization, and converts them into
 // Fortz-Thorup costs for the next request's problem instance.
-
+//
+// Two capacity regimes (DESIGN.md §14):
+//   soft (default)  — capacity only shapes prices: the Fortz-Thorup function
+//                     makes a congested link price itself out, but nothing
+//                     stops a caller from loading past capacity (the paper's
+//                     Fig. 12 setting; `overloaded_links()` counts how often
+//                     that happened).
+//   enforced        — capacity is a hard constraint: admission runs a
+//                     `can_admit` feasibility check before charging, so no
+//                     ledger entry ever exceeds its capacity.  The add paths
+//                     assert the invariant in debug builds; the pricing
+//                     surface is unchanged (soft prices still rank candidate
+//                     embeddings below the hard gate).
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <vector>
 
 #include "sofe/costmodel/fortz_thorup.hpp"
@@ -20,17 +33,27 @@ class LoadLedger {
  public:
   /// `links` = number of physical links, each with `link_capacity` (Mb/s);
   /// `hosts` = number of DC hosts, each fitting `host_capacity` VNFs.
+  /// `enforce_capacity` selects the hard regime described above.
   LoadLedger(std::size_t links, double link_capacity, std::size_t hosts,
-             double host_capacity)
+             double host_capacity, bool enforce_capacity = false)
       : link_load_(links, 0.0),
         host_load_(hosts, 0.0),
         link_capacity_(link_capacity),
-        host_capacity_(host_capacity) {}
+        host_capacity_(host_capacity),
+        enforce_capacity_(enforce_capacity) {}
 
   void add_link_load(EdgeId e, double mbps) {
-    link_load_[static_cast<std::size_t>(e)] += mbps;
+    auto& load = link_load_[static_cast<std::size_t>(e)];
+    load += mbps;
+    assert((!enforce_capacity_ || load <= link_capacity_ + slack(link_capacity_)) &&
+           "enforced-mode link charge exceeds capacity; gate with can_admit first");
   }
-  void add_host_load(std::size_t host, double vnfs) { host_load_[host] += vnfs; }
+  void add_host_load(std::size_t host, double vnfs) {
+    auto& load = host_load_[host];
+    load += vnfs;
+    assert((!enforce_capacity_ || load <= host_capacity_ + slack(host_capacity_)) &&
+           "enforced-mode host charge exceeds capacity; gate with can_admit first");
+  }
 
   /// Departure bookkeeping (the online simulator's cost-restore path, and
   /// the recovery engine's release-then-recharge sequence): a request that
@@ -61,6 +84,39 @@ class LoadLedger {
   double link_load(EdgeId e) const { return link_load_[static_cast<std::size_t>(e)]; }
   double link_utilization(EdgeId e) const { return link_load(e) / link_capacity_; }
   double host_load(std::size_t host) const { return host_load_[host]; }
+  double host_utilization(std::size_t host) const {
+    return host_load_[host] / host_capacity_;
+  }
+
+  std::size_t links() const noexcept { return link_load_.size(); }
+  std::size_t hosts() const noexcept { return host_load_.size(); }
+  double link_capacity() const noexcept { return link_capacity_; }
+  double host_capacity() const noexcept { return host_capacity_; }
+  bool enforced() const noexcept { return enforce_capacity_; }
+
+  /// Remaining room before the hard limit (never negative; a soft-mode
+  /// ledger loaded past capacity reports zero headroom, not a debt).
+  double link_headroom(EdgeId e) const {
+    return std::max(0.0, link_capacity_ - link_load(e));
+  }
+  double host_headroom(std::size_t host) const {
+    return std::max(0.0, host_capacity_ - host_load_[host]);
+  }
+
+  /// Feasibility of one candidate admission: would charging `mbps_each` on
+  /// every listed link and `vnfs_each` on every listed host keep each entry
+  /// within capacity?  The lists carry MULTIPLICITY — a forest that crosses
+  /// one link at several chain stages charges it once per stage, and the
+  /// repeats must be aggregated before the boundary check, or a link with
+  /// room for one stream would wrongly admit two.  The boundary itself is
+  /// closed (load + add == capacity admits, up to a relative epsilon), so a
+  /// request that exactly fills a link is feasible; zero-demand requests
+  /// are always feasible.  Pure query: the ledger is not mutated.
+  bool can_admit(const std::vector<EdgeId>& links, double mbps_each,
+                 const std::vector<std::size_t>& hosts, double vnfs_each) const {
+    return fits(link_load_, link_capacity_, links, mbps_each) &&
+           fits(host_load_, host_capacity_, hosts, vnfs_each);
+  }
 
   /// Price of carrying `demand` more Mb/s over link e: the cost function
   /// evaluated at the post-placement load (a congested link prices itself
@@ -82,11 +138,61 @@ class LoadLedger {
     return n;
   }
 
+  double max_link_utilization() const { return max_util(link_load_, link_capacity_); }
+  double mean_link_utilization() const { return mean_util(link_load_, link_capacity_); }
+  double max_host_utilization() const { return max_util(host_load_, host_capacity_); }
+  double mean_host_utilization() const { return mean_util(host_load_, host_capacity_); }
+
  private:
+  // Closed-boundary tolerance: repeated add/remove cycles accumulate
+  // floating-point dust, and "exactly full" must stay admissible after any
+  // number of charge/release round trips.
+  static double slack(double capacity) { return 1e-9 * std::max(1.0, capacity); }
+
+  template <typename Id>
+  static bool fits(const std::vector<double>& load, double capacity,
+                   const std::vector<Id>& ids, double each) {
+    if (each <= 0.0 || ids.empty()) return true;
+    // Aggregate multiplicity per entry: count repeats against a scratch-free
+    // double pass over the (short) candidate list.
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const std::size_t id = static_cast<std::size_t>(ids[i]);
+      bool seen = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (static_cast<std::size_t>(ids[j]) == id) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;  // this entry was totalled on its first occurrence
+      std::size_t copies = 1;
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        if (static_cast<std::size_t>(ids[j]) == id) ++copies;
+      }
+      if (load[id] + static_cast<double>(copies) * each > capacity + slack(capacity)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static double max_util(const std::vector<double>& load, double capacity) {
+    double top = 0.0;
+    for (const double l : load) top = std::max(top, l / capacity);
+    return top;
+  }
+  static double mean_util(const std::vector<double>& load, double capacity) {
+    if (load.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double l : load) sum += l / capacity;
+    return sum / static_cast<double>(load.size());
+  }
+
   std::vector<double> link_load_;
   std::vector<double> host_load_;
   double link_capacity_;
   double host_capacity_;
+  bool enforce_capacity_ = false;
 };
 
 }  // namespace sofe::costmodel

@@ -1,0 +1,74 @@
+#pragma once
+// Capacity-constrained admission control (DESIGN.md §14).
+//
+// In the paper's Fig. 12 scenario every arrival is embedded no matter how
+// loaded the network is; the online-admission literature (Lukovszki &
+// Schmid, PAPERS.md) studies the finite-capacity regime where requests may
+// be REJECTED instead.  An AdmissionPolicy turns that regime into a
+// first-class scenario: per epoch batch it looks at each arrival's
+// embedding (priced at the epoch's frozen snapshot) and declares an
+// admission INTENT.  Intent is advisory — the arrival stream applies the
+// universal capacity gate afterwards, in arrival order, so an arrival is
+// admitted iff the policy wants it AND it still fits the ledger's hard
+// link/host capacities at its commit slot (LoadLedger::can_admit).  The
+// split keeps the over-capacity proof out of policy code entirely: no
+// policy, however wrong, can overload an enforced ledger.
+//
+// Policies are pure functions of the candidate batch (no ledger access, no
+// internal state across epochs), which is what makes the sequential driver
+// and the epoch-pipelined service bitwise identical at every epoch size and
+// worker count: everything admission-related runs inside the shared
+// ArrivalStream commit path.
+//
+// Declared here in the online layer, implemented in src/sofe/api/
+// admission.cpp — the same split as online::Pipeline, so the online layer's
+// headers never include api ones.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sofe/graph/graph.hpp"
+
+namespace sofe::online {
+
+/// One arrival of the epoch batch, as the policy sees it.  Costs are at the
+/// epoch's frozen snapshot prices; an infeasible arrival (the solver found
+/// no embedding) carries `feasible == false` and infinite costs, and no
+/// policy may intend to admit it.
+struct AdmissionCandidate {
+  int slot = 0;                  ///< arrival index in the stream
+  bool feasible = false;         ///< the solver produced an embedding
+  graph::Cost marginal_cost = 0.0;     ///< embedding cost at snapshot prices
+  graph::Cost uncongested_cost = 0.0;  ///< same embedding at zero-load prices
+};
+
+/// The policy contract (DESIGN.md §14): fill `intent` with one entry per
+/// candidate — nonzero to request admission.  Must be deterministic in the
+/// batch alone; called once per epoch on the commit thread.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual std::string_view name() const noexcept = 0;
+  virtual void decide(const std::vector<AdmissionCandidate>& batch,
+                      std::vector<char>& intent) const = 0;
+};
+
+/// Builds a policy from its option string (the SolverRegistry's strict
+/// parse conventions — see "dist/k=<k>"):
+///   "greedy"                         admit every feasible arrival
+///   "threshold-price[,theta=<f>]"    reject when marginal cost exceeds
+///                                    theta x the uncongested cost
+///                                    (default theta 2.0)
+///   "reject-costliest[,budget=<f>]"  rank the epoch batch by marginal cost
+///                                    (ties by slot) and admit cheapest-
+///                                    first while the batch's admitted cost
+///                                    stays within the per-epoch budget
+///                                    (default: unbounded)
+/// An optional "admission/" prefix is accepted on any spec.  Unknown
+/// policies, unknown or duplicate keys, malformed or trailing-junk numbers
+/// and negative theta/budget all throw std::invalid_argument naming the
+/// offending field.
+std::unique_ptr<AdmissionPolicy> make_admission_policy(std::string_view spec);
+
+}  // namespace sofe::online

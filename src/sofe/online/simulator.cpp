@@ -34,30 +34,38 @@ OnlineResult simulate(const topology::Topology& topo, const OnlineConfig& cfg,
 
   for (int first = 0; first < cfg.requests;) {
     const int count = stream.open_epoch(first);
+    // Solve every slot of the epoch first, then commit the batch: solves
+    // read only the frozen snapshot (stage() swaps sources/destinations per
+    // slot) and commits only the ledger, so the split is bitwise the
+    // historical interleaving — and it is what lets admission policies rank
+    // the whole epoch (DESIGN.md §14).
+    std::vector<ServiceForest> forests;
+    forests.reserve(static_cast<std::size_t>(count));
     for (int r = first; r < first + count; ++r) {
       const Problem& p = stream.stage(r);
       const util::Stopwatch watch;
-      const ServiceForest forest = [&] {
+      forests.push_back([&] {
         if (!cfg.copy_problems) return embed(p);
         // The historical copy-per-arrival driver, kept as the
         // differential-testing reference.
         const Problem copy = p;
         return embed(copy);
-      }();
+      }());
       result.arrival_seconds.push_back(watch.seconds());
-      const Cost cost = stream.commit(r, forest);
-      if (forest.empty()) {
-        ++result.infeasible_requests;
-      } else {
-        accumulated += cost;
-      }
-      result.per_request_cost.push_back(forest.empty() ? 0.0 : cost);
+    }
+    const auto outcomes = stream.commit_epoch(first, forests);
+    for (const SlotOutcome& out : outcomes) {
+      const bool admitted = out.status == SlotOutcome::Status::kAdmitted;
+      if (out.status == SlotOutcome::Status::kInfeasible) ++result.infeasible_requests;
+      if (admitted) accumulated += out.cost;
+      result.per_request_cost.push_back(admitted ? out.cost : 0.0);
       result.accumulative_cost.push_back(accumulated);
+      result.accepted.push_back(admitted ? 1 : 0);
+      result.decision_utilization.push_back(out.decision_utilization);
     }
     first += count;
   }
-  result.overloaded_links = stream.overloaded_links();
-  result.recoveries = stream.recoveries();
+  stream.finish(result);
   return result;
 }
 

@@ -9,6 +9,7 @@
 // the ledger.  The simulator reports the accumulative cost series the paper
 // plots, plus congestion statistics.
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -88,6 +89,19 @@ struct OnlineConfig {
   /// replacement per request (Zipf-like; 0 = uniform over the pool).
   /// Ignored when source_pool == 0.
   double source_alpha = 1.0;
+  /// Admission-control policy spec (DESIGN.md §14), e.g. "greedy",
+  /// "threshold-price,theta=1.5", "reject-costliest,budget=250" — see
+  /// online::make_admission_policy for the full grammar (an "admission/"
+  /// prefix is accepted).  Empty (the default) is the paper's setting:
+  /// every feasible arrival is embedded and capacity only shapes prices
+  /// (the SOFT regime).  Non-empty switches the ledger to the ENFORCED
+  /// regime: link/host capacities become hard constraints, the policy
+  /// declares per-epoch admission intent, and the stream's commit gate
+  /// rejects any arrival that the policy declines or that no longer fits —
+  /// a rejected arrival charges nothing and costs nothing.  Malformed
+  /// specs throw std::invalid_argument from online::validate (both
+  /// drivers).
+  std::string admission;
 };
 
 struct OnlineResult {
@@ -98,7 +112,15 @@ struct OnlineResult {
   /// bookkeeping excluded), so throughput panels are self-describing.
   std::vector<double> arrival_seconds;
   int infeasible_requests = 0;
-  std::size_t overloaded_links = 0;  // links beyond capacity at the end
+  /// Links loaded beyond capacity at the end of the stream.  Mode matters
+  /// (DESIGN.md §14): with OnlineConfig::admission EMPTY the ledger is
+  /// SOFT — Fortz-Thorup prices discourage congestion but nothing forbids
+  /// it, so this count is the scenario's congestion statistic.  With a
+  /// policy set the ledger is ENFORCED and this is provably zero: every
+  /// admission passes LoadLedger::can_admit before charging, and
+  /// departures/rejections only subtract (asserted in test_admission's
+  /// fuzz suite and by the stream itself in debug builds).
+  std::size_t overloaded_links = 0;
   int workers = 1;     // echo: pricing workers (1 = the sequential driver)
   int epoch_size = 1;  // echo: OnlineConfig::epoch_size
   // Pipeline-only diagnostics.  Timing-dependent — two runs of the same
@@ -116,6 +138,26 @@ struct OnlineResult {
   std::size_t closure_rows_retained = 0;
   std::size_t closure_rows_evicted = 0;
   std::size_t peak_closure_bytes = 0;
+  /// Admission series (DESIGN.md §14), deterministic and compared bitwise
+  /// between the two drivers.  `accepted[r]` is 1 iff arrival r was
+  /// embedded AND admitted (with no policy configured that is simply "the
+  /// solver found an embedding"); `decision_utilization[r]` is the maximum
+  /// physical-link utilization at the moment arrival r's admission decision
+  /// took effect (after the departures due at r released, before r's own
+  /// charge).  `rejected_requests` counts policy/capacity rejections only —
+  /// infeasible arrivals stay in `infeasible_requests` — and
+  /// `rejected_demand_mbps` totals the demand those rejections turned away
+  /// (|destinations| x demand_mbps each).
+  std::vector<std::uint8_t> accepted;
+  std::vector<double> decision_utilization;
+  int rejected_requests = 0;
+  double rejected_demand_mbps = 0.0;
+  double accept_rate = 0.0;  // accepted / requests
+  /// End-of-stream ledger utilization (max and mean over links / hosts).
+  double max_link_utilization = 0.0;
+  double mean_link_utilization = 0.0;
+  double max_host_utilization = 0.0;
+  double mean_host_utilization = 0.0;
   /// Failure drill only: one entry per (failure epoch, affected request),
   /// in recovery order.  RecoveryReport::seconds is wall time (excluded
   /// from determinism comparisons, like arrival_seconds); every other

@@ -58,13 +58,21 @@ void validate(const OnlineConfig& cfg) {
   if (cfg.source_alpha < 0.0) {
     fail("source_alpha must be >= 0 (got " + std::to_string(cfg.source_alpha) + ")");
   }
+  if (!cfg.admission.empty()) {
+    // Parse for effect: a malformed policy spec throws std::invalid_argument
+    // naming the offending field, from BOTH drivers (each constructs an
+    // ArrivalStream, which validates first).
+    (void)make_admission_policy(cfg.admission);
+  }
 }
 
 ArrivalStream::ArrivalStream(const topology::Topology& topo, const OnlineConfig& cfg)
     : cfg_(cfg),
       ledger_(static_cast<std::size_t>(topo.g.edge_count()), cfg.link_capacity,
-              topo.dc_nodes.size(), cfg.host_capacity) {
+              topo.dc_nodes.size(), cfg.host_capacity,
+              /*enforce_capacity=*/!cfg.admission.empty()) {
   validate(cfg);
+  if (!cfg.admission.empty()) policy_ = make_admission_policy(cfg.admission);
 
   // ONE persistent Problem for the whole stream (see simulator.hpp):
   // topology + VM nodes (vms_per_dc per DC), as in the paper's online
@@ -177,7 +185,10 @@ ArrivalStream::ArrivalStream(const topology::Topology& topo, const OnlineConfig&
     fail_count_.assign(static_cast<std::size_t>(n_physical_), 0);
     admitted_.resize(static_cast<std::size_t>(cfg.requests));
   }
-  track_charges_ = cfg.holding_arrivals > 0 || has_failures_;
+  // Admission also tracks charges: the capacity gate needs each live
+  // embedding's exact charge lists for recovery re-fits and the decision-
+  // log replay seam (test_admission).
+  track_charges_ = cfg.holding_arrivals > 0 || has_failures_ || policy_ != nullptr;
 }
 
 void ArrivalStream::release(int admitted_slot) {
@@ -285,6 +296,24 @@ void ArrivalStream::recover_affected(const std::vector<EdgeId>& newly_failed) {
     stage(r);    // master_ now carries this request at the epoch snapshot
     resilience::RecoveryOutcome out =
         resilience::recover_request(master_, broken, cfg_.recovery, recovery_embed_);
+
+    // Recovery under capacity pressure (DESIGN.md §14): in enforced mode
+    // the chosen recovery must still FIT — its charges were released above,
+    // but other requests may have claimed the headroom since admission.  A
+    // recovery that no longer fits drops the whole request: its users are
+    // lost, nothing is recharged, and the freed capacity stays free.
+    bool capacity_dropped = false;
+    if (policy_ != nullptr && !out.forest.empty()) {
+      std::vector<EdgeId> links;
+      std::vector<std::size_t> hosts;
+      collect_charges(out.forest, &links, &hosts);
+      if (!ledger_.can_admit(links, cfg_.demand_mbps, hosts, 1.0)) {
+        capacity_dropped = true;
+        out.dropped_users += static_cast<int>(out.forest.walks.size());
+        out.forest = core::ServiceForest{};
+        out.chosen_cost = 0.0;
+      }
+    }
     charge(r, out.forest);
 
     resilience::RecoveryReport rep;
@@ -294,6 +323,7 @@ void ArrivalStream::recover_affected(const std::vector<EdgeId>& newly_failed) {
     rep.moved_users = out.moved_users;
     rep.dropped_users = out.dropped_users;
     rep.escalated = out.escalated;
+    rep.capacity_dropped = capacity_dropped;
     rep.repaired_cost = out.repaired_cost;
     rep.scratch_cost = out.scratch_cost;
     rep.chosen_cost = out.chosen_cost;
@@ -309,19 +339,103 @@ const core::Problem& ArrivalStream::stage(int r) {
   return master_;
 }
 
-core::Cost ArrivalStream::commit(int r, const core::ServiceForest& forest) {
-  assert(r >= epoch_first_ && r < epoch_first_ + cfg_.epoch_size);
+std::vector<SlotOutcome> ArrivalStream::commit_epoch(
+    int first, const std::vector<core::ServiceForest>& forests) {
+  assert(first == epoch_first_ && "commit_epoch must match the open epoch");
+  const int count = static_cast<int>(forests.size());
+  assert(count == std::min(cfg_.epoch_size, cfg_.requests - first) &&
+         "one forest per slot of the open epoch");
 
-  // The intra-epoch departure: admitted after this epoch opened, due now.
-  if (cfg_.holding_arrivals > 0) {
-    const int admitted = r - cfg_.holding_arrivals;
-    if (admitted >= epoch_first_) release(admitted);
+  // Phase A — price the whole batch at the frozen snapshot.  total_cost
+  // reads only the master's costs (never the ledger), so computing every
+  // slot's cost before any ledger mutation is bitwise the historical
+  // solve-then-commit interleaving; each slot is re-staged because the
+  // master currently carries the LAST staged request.  The candidate batch
+  // is what a policy ranks (reject-costliest needs the whole epoch at
+  // once — the reason commit is batched at all).
+  batch_.clear();
+  if (policy_ != nullptr) {
+    for (int i = 0; i < count; ++i) {
+      AdmissionCandidate c;
+      c.slot = first + i;
+      c.feasible = !forests[static_cast<std::size_t>(i)].empty();
+      if (c.feasible) {
+        stage(first + i);
+        c.marginal_cost = core::total_cost(master_, forests[static_cast<std::size_t>(i)]);
+        c.uncongested_cost = uncongested_cost(forests[static_cast<std::size_t>(i)]);
+      } else {
+        c.marginal_cost = graph::kInfiniteCost;
+        c.uncongested_cost = graph::kInfiniteCost;
+      }
+      batch_.push_back(c);
+    }
+    policy_->decide(batch_, intent_);
+    assert(intent_.size() == batch_.size() && "policy must decide every candidate");
   }
 
-  if (forest.empty()) return 0.0;
-  const Cost cost = core::total_cost(master_, forest);
-  charge(r, forest);
-  return cost;
+  // Phase B — commit in arrival order.  The ledger evolves slot by slot
+  // exactly as the per-slot protocol did: the intra-epoch departure due at
+  // a slot releases first, then the slot's own decision applies.  With a
+  // policy, admission = policy intent AND the capacity gate — the gate is
+  // universal and runs HERE, at the slot's own position in the ledger
+  // evolution, which is what makes over-capacity impossible no matter what
+  // the policy intended (DESIGN.md §14).
+  std::vector<SlotOutcome> outcomes(static_cast<std::size_t>(count));
+  std::vector<EdgeId> links;
+  std::vector<std::size_t> hosts;
+  for (int i = 0; i < count; ++i) {
+    const int r = first + i;
+    if (cfg_.holding_arrivals > 0) {
+      const int admitted = r - cfg_.holding_arrivals;
+      if (admitted >= epoch_first_) release(admitted);
+    }
+    SlotOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    out.decision_utilization = ledger_.max_link_utilization();
+    const core::ServiceForest& forest = forests[static_cast<std::size_t>(i)];
+    if (forest.empty()) {
+      out.status = SlotOutcome::Status::kInfeasible;
+      continue;
+    }
+    Cost cost = 0.0;
+    if (policy_ != nullptr) {
+      cost = batch_[static_cast<std::size_t>(i)].marginal_cost;
+      collect_charges(forest, &links, &hosts);
+      const bool fits = ledger_.can_admit(links, cfg_.demand_mbps, hosts, 1.0);
+      if (intent_[static_cast<std::size_t>(i)] == 0 || !fits) {
+        out.status = SlotOutcome::Status::kRejected;
+        ++rejected_count_;
+        rejected_demand_ +=
+            static_cast<double>(request(r).destinations.size()) * cfg_.demand_mbps;
+        continue;
+      }
+    } else {
+      stage(r);
+      cost = core::total_cost(master_, forest);
+    }
+    out.status = SlotOutcome::Status::kAdmitted;
+    out.cost = cost;
+    ++admitted_count_;
+    charge(r, forest);
+  }
+  return outcomes;
+}
+
+void ArrivalStream::finish(OnlineResult& result) const {
+  result.overloaded_links = ledger_.overloaded_links();
+  result.recoveries = recoveries_;
+  result.rejected_requests = rejected_count_;
+  result.rejected_demand_mbps = rejected_demand_;
+  result.accept_rate =
+      cfg_.requests > 0
+          ? static_cast<double>(admitted_count_) / static_cast<double>(cfg_.requests)
+          : 0.0;
+  result.max_link_utilization = ledger_.max_link_utilization();
+  result.mean_link_utilization = ledger_.mean_link_utilization();
+  result.max_host_utilization = ledger_.max_host_utilization();
+  result.mean_host_utilization = ledger_.mean_host_utilization();
+  // The §14 hard guarantee: an enforced ledger can never end up overloaded.
+  assert((policy_ == nullptr || result.overloaded_links == 0) &&
+         "enforced-capacity mode leaked past a can_admit gate");
 }
 
 void ArrivalStream::charge(int r, const core::ServiceForest& forest) {
@@ -347,6 +461,47 @@ void ArrivalStream::charge(int r, const core::ServiceForest& forest) {
     }
   }
   if (has_failures_) admitted_[static_cast<std::size_t>(r)] = forest;
+}
+
+void ArrivalStream::collect_charges(const core::ServiceForest& forest,
+                                    std::vector<EdgeId>* links,
+                                    std::vector<std::size_t>* hosts) const {
+  // Mirrors charge() exactly — one stream copy per distinct (stage, link)
+  // use on a physical link, one VNF slot per enabled VM — with multiplicity
+  // preserved, so can_admit aggregates repeats before the boundary check.
+  links->clear();
+  hosts->clear();
+  for (const auto& se : forest.stage_edges()) {
+    const EdgeId e = master_.network.find_edge(se.u, se.v);
+    if (e < n_physical_) links->push_back(e);
+  }
+  for (const auto& [vm, idx] : forest.enabled_vms()) {
+    (void)idx;
+    if (vm >= n_access_) {
+      hosts->push_back(vm_host_[static_cast<std::size_t>(vm - n_access_)]);
+    }
+  }
+}
+
+core::Cost ArrivalStream::uncongested_cost(const core::ServiceForest& forest) const {
+  // The same embedding priced on an EMPTY network: every physical stage
+  // edge at the zero-load Fortz-Thorup price, VM taps free, each enabled
+  // VNF at the zero-load setup price.  Structurally total_cost with the
+  // ledger at zero — the threshold-price policy's ratio denominator.
+  Cost sum = 0.0;
+  for (const auto& se : forest.stage_edges()) {
+    const EdgeId e = master_.network.find_edge(se.u, se.v);
+    if (e < n_physical_) {
+      sum += costmodel::fortz_thorup(cfg_.demand_mbps, cfg_.link_capacity);
+    }
+  }
+  for (const auto& [vm, idx] : forest.enabled_vms()) {
+    (void)idx;
+    if (vm >= n_access_) {
+      sum += cfg_.setup_scale * costmodel::fortz_thorup(1.0, cfg_.host_capacity);
+    }
+  }
+  return sum;
 }
 
 std::size_t ArrivalStream::overloaded_links() const { return ledger_.overloaded_links(); }

@@ -12,8 +12,11 @@
 // order.  At epoch_size 1 the protocol degenerates to the paper's
 // per-arrival Fig. 12 loop, bit for bit.
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "sofe/online/admission.hpp"
 #include "sofe/online/simulator.hpp"
 #include "sofe/resilience/recovery.hpp"
 
@@ -30,21 +33,44 @@ struct Request {
 /// silently produce an empty or malformed request sequence.
 void validate(const OnlineConfig& cfg);
 
+/// One arrival's commit outcome (DESIGN.md §14): what the stream decided,
+/// at what cost, and how loaded the network was when it decided.
+struct SlotOutcome {
+  enum class Status : std::uint8_t {
+    kAdmitted,    ///< embedded, (policy-)accepted, charged to the ledger
+    kRejected,    ///< embedded but declined by policy or capacity gate
+    kInfeasible,  ///< the solver produced no embedding
+  };
+  Status status = Status::kInfeasible;
+  core::Cost cost = 0.0;  ///< snapshot-price cost; 0 unless admitted
+  /// Max physical-link utilization at decision time (after the departures
+  /// due at this slot released, before this slot's own charge).
+  double decision_utilization = 0.0;
+};
+
 /// The online scenario's state machine.  One instance is driven by exactly
 /// one thread (the sequential driver, or the pipeline's commit stage); the
 /// pre-sampled requests are immutable after construction and safe for
 /// concurrent readers.
 ///
-/// Epoch protocol (DESIGN.md §10): the driver calls, in order,
+/// Epoch protocol (DESIGN.md §10 + §14): the driver calls, in order,
 ///   open_epoch(first)          — releases pre-epoch departures, refreshes
 ///                                prices once; master() now carries the
 ///                                epoch snapshot every arrival of the epoch
 ///                                is priced against
-///   commit(r, forest)          — for each slot r of the epoch in arrival
-///                                order: releases intra-epoch departures due
-///                                at r, charges the embedding, returns its
-///                                cost at the snapshot prices
-/// and repeats until the stream is exhausted.
+///   commit_epoch(first, forests)
+///                              — after every slot of the epoch has been
+///                                solved: per slot in arrival order,
+///                                releases the intra-epoch departure due at
+///                                it, runs the admission decision (policy
+///                                intent + capacity gate) and charges the
+///                                admitted embeddings; returns one
+///                                SlotOutcome per slot
+/// and repeats until the stream is exhausted.  Batching the commit is what
+/// lets batch-ranking policies (reject-costliest) see the whole epoch; it
+/// is semantically free because solves read only the frozen snapshot and
+/// the ledger is read only at epoch open — the per-slot ledger evolution
+/// inside commit_epoch is exactly the historical per-slot interleaving.
 ///
 /// Failure drills (DESIGN.md §12) ride the same protocol: scripted
 /// FailureEvents compile into a time-sorted toggle schedule at
@@ -93,15 +119,53 @@ class ArrivalStream {
   /// in place) and returns it, ready to hand to an embedder.
   const core::Problem& stage(int r);
 
-  /// Commits slot r in arrival order: releases the intra-epoch departure
-  /// due at r (one admitted inside the current epoch — pre-epoch ones were
-  /// released by open_epoch), then charges the embedding's bandwidth and
-  /// VNF placements to the ledger and returns its cost at the epoch
-  /// snapshot prices.  An empty forest charges nothing and returns 0.
-  core::Cost commit(int r, const core::ServiceForest& forest);
+  /// Commits the whole open epoch in arrival order: `forests[i]` is the
+  /// embedding solved for slot first + i at the epoch snapshot (empty =
+  /// infeasible).  Per slot, in order: the intra-epoch departure due at it
+  /// releases (one admitted inside this epoch — pre-epoch ones were
+  /// released by open_epoch), the admission decision applies, and an
+  /// admitted embedding's bandwidth and VNF placements are charged.  With
+  /// no policy configured every non-empty forest is admitted (the paper's
+  /// soft regime); with one, the policy's batch intent is gated per slot by
+  /// LoadLedger::can_admit, so a rejected arrival charges NOTHING — the
+  /// rejection-through-commit rule (DESIGN.md §14).  Costs are evaluated at
+  /// the frozen snapshot by re-staging each slot, so the values are
+  /// bitwise the historical solve-then-commit interleaving's.
+  std::vector<SlotOutcome> commit_epoch(int first,
+                                        const std::vector<core::ServiceForest>& forests);
+
+  /// Folds the end-of-stream statistics and admission bookkeeping into an
+  /// OnlineResult (overloaded links, utilization, accept/reject tallies,
+  /// recovery reports).  Both drivers call this last, which is what keeps
+  /// the admission series structurally incapable of driver drift.
+  void finish(OnlineResult& result) const;
 
   /// Links loaded beyond capacity right now (the end-of-stream statistic).
   std::size_t overloaded_links() const;
+
+  /// The ledger, for invariant checks (test seam; loads never exceed
+  /// capacity in enforced mode) and utilization probes.
+  const costmodel::LoadLedger& ledger() const noexcept { return ledger_; }
+
+  /// True when an admission policy is configured (enforced-capacity mode).
+  bool has_admission() const noexcept { return policy_ != nullptr; }
+
+  /// Replaces the policy parsed from OnlineConfig::admission (test seam for
+  /// custom policies, e.g. replaying a recorded decision log).  Must be
+  /// called before the first open_epoch; pass nullptr to disable admission.
+  void set_admission_policy(std::unique_ptr<AdmissionPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+
+  /// Per-request ledger charges of slot r's live embedding (empty unless
+  /// charges are tracked: holding, drills or admission).  One entry per
+  /// charged stream copy / enabled VNF slot, multiplicity preserved.
+  const std::vector<graph::EdgeId>& charged_links(int r) const {
+    return charges_[static_cast<std::size_t>(r)].links;
+  }
+  const std::vector<std::size_t>& charged_hosts(int r) const {
+    return charges_[static_cast<std::size_t>(r)].hosts;
+  }
 
   /// True when the config scripts a failure drill (a non-empty
   /// OnlineConfig::failures plan survived validation).
@@ -125,6 +189,15 @@ class ArrivalStream {
   void release(int admitted_slot);
   void charge(int r, const core::ServiceForest& forest);
   void recover_affected(const std::vector<graph::EdgeId>& newly_failed);
+  /// The ledger charges `forest` would take if admitted (multiplicity
+  /// preserved), the shape can_admit and charge() agree on.
+  void collect_charges(const core::ServiceForest& forest,
+                       std::vector<graph::EdgeId>* links,
+                       std::vector<std::size_t>* hosts) const;
+  /// The same embedding priced on an EMPTY network: zero-load Fortz-Thorup
+  /// link prices plus zero-load VM setup — the denominator of the
+  /// threshold-price policy's congestion-surcharge ratio.
+  core::Cost uncongested_cost(const core::ServiceForest& forest) const;
 
   OnlineConfig cfg_;
   core::Problem master_;
@@ -143,7 +216,17 @@ class ArrivalStream {
     std::vector<std::size_t> hosts;    // one entry per enabled VNF slot
   };
   std::vector<Charges> charges_;
-  bool track_charges_ = false;  // holding_arrivals > 0 || has_failures_
+  bool track_charges_ = false;  // holding, drills or admission configured
+
+  // Admission control (DESIGN.md §14).  The policy is parsed from
+  // OnlineConfig::admission at construction; scalar tallies accumulate at
+  // commit and fold into OnlineResult via finish().
+  std::unique_ptr<AdmissionPolicy> policy_;
+  int admitted_count_ = 0;
+  int rejected_count_ = 0;
+  double rejected_demand_ = 0.0;
+  std::vector<AdmissionCandidate> batch_;  // commit_epoch scratch
+  std::vector<char> intent_;
 
   // Failure drill (DESIGN.md §12).
   struct Toggle {

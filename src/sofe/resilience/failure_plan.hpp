@@ -86,6 +86,11 @@ struct RecoveryReport {
   int moved_users = 0;        // destinations re-homed / re-embedded
   int dropped_users = 0;      // destinations no feasible recovery served
   bool escalated = false;     // the from-scratch candidate was adopted
+  /// Enforced-capacity mode only (DESIGN.md §14): the chosen recovery no
+  /// longer fit the ledger's hard link/host limits, so the whole request
+  /// was dropped instead of recharged — its users count in dropped_users
+  /// and the bandwidth it held stays freed.  Always false in soft mode.
+  bool capacity_dropped = false;
   Cost repaired_cost = 0.0;   // repair+re-home candidate (+inf if none)
   Cost scratch_cost = 0.0;    // from-scratch candidate (+inf if infeasible)
   Cost chosen_cost = 0.0;     // the adopted recovery's cost at epoch prices

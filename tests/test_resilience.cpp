@@ -176,10 +176,10 @@ TEST(ResilienceRoundTrip, HealRestoresEveryPriceBitForBit) {
   for (graph::EdgeId e = 0; e < topo.g.edge_count(); ++e) {
     baseline.push_back(stream.master().network.edge(e).cost);
   }
-  stream.commit(0, ServiceForest{});
+  stream.commit_epoch(0, {ServiceForest{}});
 
   stream.open_epoch(1, &deltas);
-  stream.commit(1, ServiceForest{});
+  stream.commit_epoch(1, {ServiceForest{}});
 
   stream.open_epoch(2, &deltas);  // failure fires here
   ASSERT_EQ(deltas.size(), 1u);
@@ -190,11 +190,11 @@ TEST(ResilienceRoundTrip, HealRestoresEveryPriceBitForBit) {
       EXPECT_EQ(stream.master().network.edge(e).cost, baseline[static_cast<std::size_t>(e)]);
     }
   }
-  stream.commit(2, ServiceForest{});
+  stream.commit_epoch(2, {ServiceForest{}});
 
   stream.open_epoch(3, &deltas);
   EXPECT_TRUE(deltas.empty()) << "failed link stays failed without a toggle";
-  stream.commit(3, ServiceForest{});
+  stream.commit_epoch(3, {ServiceForest{}});
 
   stream.open_epoch(4, &deltas);  // heal fires here
   ASSERT_EQ(deltas.size(), 1u);
